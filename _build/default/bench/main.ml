@@ -1,0 +1,125 @@
+(* Benchmark harness.
+
+   Default run: regenerate every table/figure of the paper's evaluation
+   (the experiment drivers of Bw_core.Experiments) and print them.
+
+     dune exec bench/main.exe                 -- all tables, full scale
+     dune exec bench/main.exe -- --quick      -- all tables, small scale
+     dune exec bench/main.exe -- --table fig3 -- one table
+     dune exec bench/main.exe -- --micro      -- Bechamel micro-benchmarks
+                                                 of the core algorithms *)
+
+let tables ~scale ~only =
+  List.iter
+    (fun (id, f) ->
+      match only with
+      | Some w when w <> id -> ()
+      | _ ->
+        let t0 = Sys.time () in
+        let table = f ?scale:(Some scale) () in
+        Format.printf "%a" Bw_core.Table.render table;
+        Format.printf "(generated in %.1f s)@.@." (Sys.time () -. t0))
+    Bw_core.Experiments.all
+
+(* --- Bechamel micro-benchmarks -------------------------------------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let cache_streaming =
+    Test.make ~name:"cache: stream 64k accesses"
+      (Staged.stage (fun () ->
+           let c =
+             Bw_machine.Cache.create
+               [ { Bw_machine.Cache.size_bytes = 32 * 1024;
+                   line_bytes = 32;
+                   associativity = 2 } ]
+           in
+           for i = 0 to 65_535 do
+             Bw_machine.Cache.read c ~addr:(8 * i) ~bytes:8
+           done))
+  in
+  let interp_sum =
+    let p = Bw_workloads.Simple_example.read_loop ~n:10_000 in
+    Test.make ~name:"interp: 10k-element reduction"
+      (Staged.stage (fun () -> ignore (Bw_exec.Interp.run p)))
+  in
+  let compiled_sum =
+    let p = Bw_workloads.Simple_example.read_loop ~n:10_000 in
+    Test.make ~name:"compile: 10k-element reduction"
+      (Staged.stage (fun () -> ignore (Bw_exec.Compile.run p)))
+  in
+  let simulate_kernel =
+    let p = Bw_workloads.Stride_kernels.kernel ~writes:1 ~reads:2 ~n:5_000 in
+    Test.make ~name:"simulate: 1w2r kernel on Origin2000"
+      (Staged.stage (fun () ->
+           ignore
+             (Bw_exec.Run.simulate ~machine:Bw_machine.Machine.origin2000 p)))
+  in
+  let hyper_cut =
+    let h =
+      Bw_graph.Graph_gen.hypergraph ~seed:42 ~nodes:60 ~edges:120 ~max_arity:5
+    in
+    Test.make ~name:"hyper-graph min-cut (60 loops, 120 arrays)"
+      (Staged.stage (fun () ->
+           ignore (Bw_graph.Hyper_cut.min_cut h ~s:0 ~t:59)))
+  in
+  let fusion_plan =
+    let p = Bw_workloads.Random_programs.generate ~seed:3 ~loops:8 ~arrays:5 ~n:32 in
+    let g = Bw_fusion.Fusion_graph.build p in
+    Test.make ~name:"bandwidth-minimal planning (8 loops)"
+      (Staged.stage (fun () ->
+           ignore (Bw_fusion.Bandwidth_minimal.multi_partition g)))
+  in
+  let strategy_pipeline =
+    let p = Bw_workloads.Fig7.original ~n:2_000 in
+    Test.make ~name:"full strategy pipeline on fig7"
+      (Staged.stage (fun () -> ignore (Bw_transform.Strategy.run p)))
+  in
+  let parse_program =
+    let src =
+      Bw_ir.Pretty.program_to_string (Bw_workloads.Fig6.fused ~n:64)
+    in
+    Test.make ~name:"parse + check fig6 source"
+      (Staged.stage (fun () ->
+           ignore (Bw_ir.Parser.parse_program_exn src)))
+  in
+  [ cache_streaming; interp_sum; compiled_sum; simulate_kernel; hyper_cut;
+    fusion_plan; strategy_pipeline; parse_program ]
+
+let run_micro () =
+  let open Bechamel in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"micro" ~fmt:"%s %s" (micro_tests ()))
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let measured = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Format.printf "== micro-benchmarks (monotonic clock, ns/run) ==@.";
+  Hashtbl.fold (fun name result acc -> (name, result) :: acc) measured []
+  |> List.sort compare
+  |> List.iter (fun (name, result) ->
+         match Analyze.OLS.estimates result with
+         | Some [ est ] -> Format.printf "%-50s %12.0f ns@." name est
+         | _ -> Format.printf "%-50s (no estimate)@." name)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let has flag = List.mem flag args in
+  let value_of flag =
+    let rec go = function
+      | f :: v :: _ when f = flag -> Some v
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  if has "--micro" then run_micro ()
+  else begin
+    let scale = if has "--quick" then 1 else 2 in
+    let only = value_of "--table" in
+    tables ~scale ~only
+  end

@@ -1,0 +1,277 @@
+(* bwc — the bandwidth compiler driver.
+
+   Subcommands:
+     bwc list                      catalogue of built-in workloads
+     bwc show <prog>               pretty-print a workload or .bw source file
+     bwc analyze <prog>            balance, predicted time, bottleneck
+     bwc optimize <prog>           run the fusion/storage/store-elimination
+                                   pipeline and report before/after
+     bwc fuse <prog>               compare fusion plans and their costs
+     bwc experiments               regenerate the paper's tables *)
+
+open Cmdliner
+
+let machines =
+  [ ("origin2000", Bw_machine.Machine.origin2000);
+    ("exemplar", Bw_machine.Machine.exemplar);
+    ("origin-scaled", Bw_core.Experiments.origin_scaled);
+    ("unconstrained", Bw_machine.Machine.unconstrained) ]
+
+let machine_conv =
+  let parse s =
+    match List.assoc_opt s machines with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown machine '%s' (try %s)" s
+             (String.concat ", " (List.map fst machines))))
+  in
+  let print ppf (m : Bw_machine.Machine.t) =
+    Format.pp_print_string ppf m.Bw_machine.Machine.name
+  in
+  Arg.conv (parse, print)
+
+let machine_arg =
+  Arg.(
+    value
+    & opt machine_conv Bw_machine.Machine.origin2000
+    & info [ "m"; "machine" ] ~docv:"MACHINE"
+        ~doc:"Machine model: origin2000, exemplar, origin-scaled or unconstrained.")
+
+let scale_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "s"; "scale" ] ~docv:"SCALE"
+        ~doc:"Workload size: 1 quick, 2 full, 3 stress.")
+
+(* Resolve a program: registry name or path to a surface-language file. *)
+let load_program ~scale name =
+  match Bw_workloads.Registry.find name with
+  | Some entry -> Ok (entry.Bw_workloads.Registry.build ~scale)
+  | None ->
+    if Sys.file_exists name then begin
+      let ic = open_in name in
+      let len = in_channel_length ic in
+      let src = really_input_string ic len in
+      close_in ic;
+      match Bw_ir.Parser.parse_program src with
+      | Ok p -> Ok p
+      | Error e -> Error (Format.asprintf "%a" Bw_ir.Parser.pp_parse_error e)
+    end
+    else
+      Error
+        (Printf.sprintf
+           "'%s' is neither a built-in workload nor a file (try 'bwc list')"
+           name)
+
+let program_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PROGRAM" ~doc:"Workload name or .bw source file.")
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    Format.eprintf "bwc: %s@." msg;
+    exit 1
+
+(* --- list ----------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Bw_workloads.Registry.entry) ->
+        Format.printf "%-16s %s@." e.Bw_workloads.Registry.name
+          e.Bw_workloads.Registry.description)
+      Bw_workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in workloads")
+    Term.(const run $ const ())
+
+(* --- show ----------------------------------------------------------------- *)
+
+let show_cmd =
+  let run name scale =
+    let p = or_die (load_program ~scale name) in
+    Format.printf "%a@." Bw_ir.Pretty.pp_program p
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Pretty-print a program")
+    Term.(const run $ program_arg $ scale_arg)
+
+(* --- analyze -------------------------------------------------------------- *)
+
+let analyze machine p =
+  let r = Bw_exec.Run.simulate ~machine p in
+  Format.printf "program: %s@." p.Bw_ir.Ast.prog_name;
+  Format.printf "machine: %s@.@." machine.Bw_machine.Machine.name;
+  Format.printf "counters: %a@.@." Bw_machine.Counters.pp r.Bw_exec.Run.counters;
+  Format.printf "program balance (bytes/flop):@.";
+  List.iter
+    (fun (name, v) -> Format.printf "  %-8s %8.2f@." name v)
+    (Bw_exec.Run.program_balance r);
+  Format.printf "@.machine balance (bytes/flop):@.";
+  List.iter2
+    (fun name v -> Format.printf "  %-8s %8.2f@." name v)
+    (Bw_machine.Machine.boundary_names machine)
+    (Bw_machine.Machine.balance machine);
+  let row = { Bw_core.Balance.name = p.Bw_ir.Ast.prog_name;
+              per_boundary = Bw_exec.Run.program_balance r } in
+  let resource, ratio = Bw_core.Balance.worst_ratio row machine in
+  Format.printf
+    "@.demand/supply: worst at %s (%.1fx) -> CPU utilisation bound %.0f%%@."
+    resource ratio
+    (100.0 *. Bw_core.Balance.cpu_utilisation_bound row machine);
+  Format.printf "@.predicted time:@.%a@." Bw_machine.Timing.pp_breakdown
+    r.Bw_exec.Run.breakdown;
+  Format.printf "effective memory bandwidth: %.0f MB/s@."
+    (Bw_exec.Run.effective_bandwidth r /. 1e6)
+
+let analyze_cmd =
+  let run name scale machine = analyze machine (or_die (load_program ~scale name)) in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Balance and predicted performance of a program")
+    Term.(const run $ program_arg $ scale_arg $ machine_arg)
+
+(* --- optimize --------------------------------------------------------------- *)
+
+let optimize_cmd =
+  let run name scale machine print_program =
+    let p = or_die (load_program ~scale name) in
+    let p', report = Bw_transform.Strategy.run p in
+    Format.printf "%a@.@." Bw_transform.Strategy.pp_report report;
+    let before = Bw_exec.Run.simulate ~machine p in
+    let after = Bw_exec.Run.simulate ~machine p' in
+    let traffic r =
+      float_of_int (Bw_machine.Timing.memory_bytes r.Bw_exec.Run.cache) /. 1e6
+    in
+    Format.printf "memory traffic: %.2f MB -> %.2f MB@." (traffic before)
+      (traffic after);
+    Format.printf "predicted time: %.2f ms -> %.2f ms (%.2fx)@."
+      (1e3 *. Bw_exec.Run.seconds before)
+      (1e3 *. Bw_exec.Run.seconds after)
+      (Bw_exec.Run.seconds before /. Bw_exec.Run.seconds after);
+    let same =
+      Bw_exec.Interp.equal_observation before.Bw_exec.Run.observation
+        after.Bw_exec.Run.observation
+    in
+    Format.printf "observable behaviour preserved: %b@." same;
+    if print_program then Format.printf "@.%a@." Bw_ir.Pretty.pp_program p'
+  in
+  let print_flag =
+    Arg.(value & flag & info [ "p"; "print" ] ~doc:"Print the transformed program.")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Apply the bandwidth-reduction pipeline and compare")
+    Term.(const run $ program_arg $ scale_arg $ machine_arg $ print_flag)
+
+(* --- fuse ------------------------------------------------------------------- *)
+
+let fuse_cmd =
+  let run name scale =
+    let p = or_die (load_program ~scale name) in
+    let g = Bw_fusion.Fusion_graph.build p in
+    Format.printf "%a@.@." Bw_fusion.Fusion_graph.pp g;
+    let report label plan =
+      Format.printf "%-28s arrays loaded %2d, cross weight %2d, %d partition(s)@."
+        label
+        (Bw_fusion.Cost.bandwidth_cost g plan)
+        (Bw_fusion.Cost.edge_weight_cost g plan)
+        (List.length plan)
+    in
+    report "no fusion:" (Bw_fusion.Cost.unfused g);
+    report "edge-weighted greedy:" (Bw_fusion.Edge_weighted.greedy_merge g);
+    report "bandwidth-minimal:" (Bw_fusion.Bandwidth_minimal.multi_partition g);
+    if Bw_fusion.Fusion_graph.node_count g <= 10 then
+      report "exhaustive optimum:" (Bw_fusion.Bandwidth_minimal.exhaustive g)
+  in
+  Cmd.v (Cmd.info "fuse" ~doc:"Compare fusion strategies on a program")
+    Term.(const run $ program_arg $ scale_arg)
+
+(* --- advise --------------------------------------------------------------- *)
+
+let advise_cmd =
+  let run name scale machine =
+    let p = or_die (load_program ~scale name) in
+    let report = Bw_core.Advisor.diagnose ~machine p in
+    Format.printf "%a@." Bw_core.Advisor.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:"Suggest bandwidth-reducing transformations, ranked by measured saving")
+    Term.(const run $ program_arg $ scale_arg $ machine_arg)
+
+(* --- reuse ----------------------------------------------------------------- *)
+
+let reuse_cmd =
+  let run name scale granularity =
+    let p = or_die (load_program ~scale name) in
+    let t = Bw_exec.Run.reuse_profile ~granularity p in
+    Format.printf
+      "reuse profile of %s (block = %d bytes): %d accesses, %d blocks, %d cold@.@."
+      p.Bw_ir.Ast.prog_name granularity
+      (Bw_machine.Reuse.total t)
+      (Bw_machine.Reuse.footprint_blocks t)
+      (Bw_machine.Reuse.cold t);
+    Format.printf "reuse-distance histogram (blocks):@.";
+    List.iter
+      (fun (lo, count) -> Format.printf "  >= %-8d %d@." lo count)
+      (Bw_machine.Reuse.histogram t);
+    Format.printf "@.predicted miss ratio vs fully-associative LRU size:@.";
+    List.iter
+      (fun (size, mr) ->
+        Format.printf "  %8d KB  %5.1f%%@." (size / 1024) (100.0 *. mr))
+      (Bw_machine.Reuse.curve t
+         ~sizes:
+           [ 1024; 4 * 1024; 16 * 1024; 64 * 1024; 256 * 1024;
+             1024 * 1024; 4 * 1024 * 1024 ])
+  in
+  let granularity =
+    Arg.(
+      value & opt int 32
+      & info [ "g"; "granularity" ] ~docv:"BYTES"
+          ~doc:"Block size for reuse tracking (cache line).")
+  in
+  Cmd.v
+    (Cmd.info "reuse"
+       ~doc:"Reuse-distance profile and cache-size-independent miss-ratio curve")
+    Term.(const run $ program_arg $ scale_arg $ granularity)
+
+(* --- experiments -------------------------------------------------------------- *)
+
+let experiments_cmd =
+  let run scale only =
+    List.iter
+      (fun (id, f) ->
+        match only with
+        | Some w when w <> id -> ()
+        | _ -> Format.printf "%a@." Bw_core.Table.render (f ?scale:(Some scale) ()))
+      Bw_core.Experiments.all
+  in
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "t"; "table" ] ~docv:"ID"
+          ~doc:"Only this table (e1, fig1..fig8, sp, ablation-*).")
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
+    Term.(const run $ scale_arg $ only)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "bwc" ~version:"1.0"
+      ~doc:
+        "Bandwidth-oriented compilation: balance analysis, bandwidth-minimal \
+         loop fusion, storage reduction and store elimination (Ding & \
+         Kennedy, IPPS 2000)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ list_cmd; show_cmd; analyze_cmd; optimize_cmd; fuse_cmd;
+            advise_cmd; reuse_cmd; experiments_cmd ]))

@@ -1,0 +1,1 @@
+examples/dsl_tour.ml: Bw_analysis Bw_exec Bw_ir Bw_machine Bw_transform Format List String

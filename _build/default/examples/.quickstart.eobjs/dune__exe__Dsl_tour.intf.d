@@ -1,0 +1,1 @@
+examples/dsl_tour.mli:

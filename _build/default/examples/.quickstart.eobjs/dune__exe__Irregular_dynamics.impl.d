@@ -1,0 +1,1 @@
+examples/irregular_dynamics.ml: Bw_exec Bw_machine Bw_transform Bw_workloads Format List Result

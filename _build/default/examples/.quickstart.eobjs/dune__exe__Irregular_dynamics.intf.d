@@ -1,0 +1,1 @@
+examples/irregular_dynamics.mli:

@@ -1,0 +1,1 @@
+examples/machine_explorer.ml: Bw_exec Bw_machine Bw_workloads Format List Printf String

@@ -1,0 +1,1 @@
+examples/machine_explorer.mli:

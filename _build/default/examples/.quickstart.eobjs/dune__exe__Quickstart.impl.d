@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bw_exec Bw_ir Bw_machine Bw_transform Format List

@@ -1,0 +1,1 @@
+examples/stencil_pipeline.ml: Bw_exec Bw_fusion Bw_ir Bw_machine Bw_transform Format List

@@ -1,0 +1,64 @@
+(* Dynamic (irregular) applications: a moldyn-like particle kernel whose
+   interaction list defeats static loop transformations, handled by the
+   strategy's run-time arm — locality grouping (sort the interaction
+   list) and data packing (renumber particles in first-touch order) —
+   plus a reuse-distance profile showing *why* they work.
+
+     dune exec examples/irregular_dynamics.exe *)
+
+let machine =
+  { Bw_machine.Machine.origin2000 with
+    Bw_machine.Machine.name = "origin-small-cache";
+    caches =
+      [ { Bw_machine.Cache.size_bytes = 4096; line_bytes = 32; associativity = 2 };
+        { Bw_machine.Cache.size_bytes = 32 * 1024;
+          line_bytes = 128;
+          associativity = 2 } ] }
+
+let spec =
+  { Bw_transform.Packing.index_arrays = Bw_workloads.Irregular.index_arrays;
+    data_arrays = Bw_workloads.Irregular.data_arrays }
+
+let () =
+  let p =
+    Bw_workloads.Irregular.interactions ~particles:30_000 ~pairs:12_000
+      ~sweeps:8
+  in
+  let grouped =
+    Result.get_ok (Bw_transform.Packing.group p spec ~by:"idx1")
+  in
+  let both =
+    let spec' =
+      { spec with
+        Bw_transform.Packing.index_arrays =
+          List.map (fun a -> "sorted_" ^ a)
+            spec.Bw_transform.Packing.index_arrays }
+    in
+    Result.get_ok (Bw_transform.Packing.pack grouped spec')
+  in
+
+  let report label q =
+    let r = Bw_exec.Run.simulate ~machine q in
+    Format.printf "%-28s %7.2f MB traffic, %7.2f ms predicted@." label
+      (float_of_int (Bw_machine.Timing.memory_bytes r.Bw_exec.Run.cache) /. 1e6)
+      (1e3 *. Bw_exec.Run.seconds r);
+    r.Bw_exec.Run.observation
+  in
+  Format.printf "--- traffic and time ---@.";
+  let o1 = report "random list:" p in
+  let o2 = report "grouped:" grouped in
+  let o3 = report "grouped + packed:" both in
+  Format.printf "values preserved (to 1e-9): %b@.@."
+    (Bw_exec.Interp.close_observation ~tol:1e-9 o1 o2
+    && Bw_exec.Interp.close_observation ~tol:1e-9 o1 o3);
+
+  (* The mechanism, visible without any cache model: the transformations
+     move reuse distances below the cache capacity. *)
+  Format.printf "--- reuse-distance view (32-byte blocks) ---@.";
+  List.iter
+    (fun (label, q) ->
+      let t = Bw_exec.Run.reuse_profile ~granularity:32 q in
+      let mr c = 100.0 *. Bw_machine.Reuse.miss_ratio t ~capacity_blocks:c in
+      Format.printf "%-28s miss ratio at 4KB %5.1f%%, 32KB %5.1f%%, 256KB %5.1f%%@."
+        label (mr 128) (mr 1024) (mr 8192))
+    [ ("random list:", p); ("grouped:", grouped); ("grouped + packed:", both) ]

@@ -1,0 +1,58 @@
+(* Quickstart: build a program, measure its balance on a machine model,
+   let the bandwidth-reduction pipeline rewrite it, and compare.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Write a program with the builder DSL: scale a vector, then reduce
+     it -- two loops over the same temporary array. *)
+  let n = 500_000 in
+  let program =
+    let open Bw_ir.Builder in
+    program "quickstart"
+      ~decls:
+        [ array ~init:(Init_hash 1) "input" [ n ];
+          array "scaled" [ n ];
+          scalar "total" ]
+      ~live_out:[ "total" ]
+      [ for_ "i" (int 1) (int n)
+          [ ("scaled" $. [ v "i" ]) <-- (("input" $ [ v "i" ]) *: fl 1.5) ];
+        for_ "i" (int 1) (int n)
+          [ sc "total" <-- (v "total" +: ("scaled" $ [ v "i" ])) ];
+        print (v "total") ]
+  in
+  Format.printf "--- the program ---@.%a@.@." Bw_ir.Pretty.pp_program program;
+
+  (* 2. Simulate it on the Origin2000 model. *)
+  let machine = Bw_machine.Machine.origin2000 in
+  let before = Bw_exec.Run.simulate ~machine program in
+  Format.printf "--- before optimisation ---@.";
+  Format.printf "predicted time: %.2f ms, bound by %s@."
+    (1e3 *. Bw_exec.Run.seconds before)
+    before.Bw_exec.Run.breakdown.Bw_machine.Timing.binding_resource;
+  List.iter
+    (fun (boundary, v) -> Format.printf "  %-8s %6.2f bytes/flop@." boundary v)
+    (Bw_exec.Run.program_balance before);
+
+  (* 3. Run the paper's strategy: fuse, contract, eliminate stores. *)
+  let optimised, report = Bw_transform.Strategy.run program in
+  Format.printf "@.--- what the compiler did ---@.%a@.@."
+    Bw_transform.Strategy.pp_report report;
+  Format.printf "--- the optimised program ---@.%a@.@."
+    Bw_ir.Pretty.pp_program optimised;
+
+  (* 4. Same observable behaviour, less memory traffic, less time. *)
+  let after = Bw_exec.Run.simulate ~machine optimised in
+  let traffic r =
+    float_of_int (Bw_machine.Timing.memory_bytes r.Bw_exec.Run.cache) /. 1e6
+  in
+  Format.printf "--- after optimisation ---@.";
+  Format.printf "memory traffic  %.2f MB -> %.2f MB@." (traffic before)
+    (traffic after);
+  Format.printf "predicted time  %.2f ms -> %.2f ms (%.2fx)@."
+    (1e3 *. Bw_exec.Run.seconds before)
+    (1e3 *. Bw_exec.Run.seconds after)
+    (Bw_exec.Run.seconds before /. Bw_exec.Run.seconds after);
+  Format.printf "behaviour preserved: %b@."
+    (Bw_exec.Interp.equal_observation before.Bw_exec.Run.observation
+       after.Bw_exec.Run.observation)

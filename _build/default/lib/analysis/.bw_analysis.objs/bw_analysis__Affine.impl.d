@@ -1,0 +1,1 @@
+lib/analysis/affine.ml: Bw_ir Format List Option

@@ -1,0 +1,1 @@
+lib/analysis/affine.mli: Bw_ir Format

@@ -1,0 +1,1 @@
+lib/analysis/depend.ml: Affine Bw_ir Format List Printf Refs Result

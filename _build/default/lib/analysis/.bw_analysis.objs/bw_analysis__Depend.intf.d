@@ -1,0 +1,1 @@
+lib/analysis/depend.mli: Bw_ir Format Refs

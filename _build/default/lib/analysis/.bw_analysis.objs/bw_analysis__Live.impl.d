@@ -1,0 +1,1 @@
+lib/analysis/live.ml: Bw_ir Format Hashtbl List Refs

@@ -1,0 +1,1 @@
+lib/analysis/live.mli: Bw_ir Format

@@ -1,0 +1,1 @@
+lib/analysis/refs.ml: Affine Bw_ir Format List String

@@ -1,0 +1,1 @@
+lib/analysis/refs.mli: Affine Bw_ir Format

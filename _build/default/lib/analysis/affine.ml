@@ -1,0 +1,94 @@
+open Bw_ir.Ast
+
+type t = { const : int; terms : (string * int) list }
+
+let normalise terms =
+  terms
+  |> List.filter (fun (_, c) -> c <> 0)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let const c = { const = c; terms = [] }
+let var v = { const = 0; terms = [ (v, 1) ] }
+
+let equal a b = a.const = b.const && a.terms = b.terms
+
+let merge f a b =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], rest -> List.map (fun (v, c) -> (v, f 0 c)) rest
+    | rest, [] -> List.map (fun (v, c) -> (v, f c 0)) rest
+    | (vx, cx) :: xs', (vy, cy) :: ys' ->
+      if vx = vy then (vx, f cx cy) :: go xs' ys'
+      else if vx < vy then (vx, f cx 0) :: go xs' ys
+      else (vy, f 0 cy) :: go xs ys'
+  in
+  normalise (go a.terms b.terms)
+
+let add a b = { const = a.const + b.const; terms = merge ( + ) a b }
+let sub a b = { const = a.const - b.const; terms = merge ( - ) a b }
+
+let scale k a =
+  { const = k * a.const;
+    terms = normalise (List.map (fun (v, c) -> (v, k * c)) a.terms) }
+
+let rec of_expr = function
+  | Int_lit n -> Some (const n)
+  | Scalar s -> Some (var s)
+  | Unary (Neg, e) -> Option.map (scale (-1)) (of_expr e)
+  | Binary (Add, a, b) -> combine add a b
+  | Binary (Sub, a, b) -> combine sub a b
+  | Binary (Mul, a, b) -> (
+    match (of_expr a, of_expr b) with
+    | Some fa, Some fb when is_const_form fa -> Some (scale fa.const fb)
+    | Some fa, Some fb when is_const_form fb -> Some (scale fb.const fa)
+    | _ -> None)
+  | Float_lit _ | Element _ | Call _
+  | Unary ((Abs | Sqrt | Int_to_float), _)
+  | Binary ((Div | Mod | Min | Max), _, _) ->
+    None
+
+and combine f a b =
+  match (of_expr a, of_expr b) with
+  | Some fa, Some fb -> Some (f fa fb)
+  | _ -> None
+
+and is_const_form t = t.terms = []
+
+let to_expr t =
+  let term (v, c) =
+    if c = 1 then Scalar v else Binary (Mul, Int_lit c, Scalar v)
+  in
+  match t.terms with
+  | [] -> Int_lit t.const
+  | first :: rest ->
+    let sum =
+      List.fold_left (fun acc tm -> Binary (Add, acc, term tm)) (term first) rest
+    in
+    if t.const = 0 then sum
+    else if t.const > 0 then Binary (Add, sum, Int_lit t.const)
+    else Binary (Sub, sum, Int_lit (-t.const))
+
+let coeff t v = match List.assoc_opt v t.terms with Some c -> c | None -> 0
+let is_const t = t.terms = []
+let vars t = List.map fst t.terms
+
+let eval t lookup =
+  List.fold_left (fun acc (v, c) -> acc + (c * lookup v)) t.const t.terms
+
+let drop_var t v =
+  { t with terms = List.filter (fun (name, _) -> name <> v) t.terms }
+
+let pp ppf t =
+  if t.terms = [] then Format.pp_print_int ppf t.const
+  else begin
+    List.iteri
+      (fun i (v, c) ->
+        if i > 0 || c < 0 then
+          Format.pp_print_string ppf (if c < 0 then " - " else " + ");
+        let c = abs c in
+        if c = 1 then Format.pp_print_string ppf v
+        else Format.fprintf ppf "%d*%s" c v)
+      t.terms;
+    if t.const > 0 then Format.fprintf ppf " + %d" t.const
+    else if t.const < 0 then Format.fprintf ppf " - %d" (-t.const)
+  end

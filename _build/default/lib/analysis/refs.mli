@@ -1,0 +1,45 @@
+(** Collection of array references with their loop context. *)
+
+type access = Read | Write
+
+type loop_context = {
+  index : string;
+  lo : Bw_ir.Ast.expr;
+  hi : Bw_ir.Ast.expr;
+  step : Bw_ir.Ast.expr;
+}
+
+type t = {
+  array : string;
+  subscripts : Bw_ir.Ast.expr list;
+  affine : Affine.t option list;  (** one entry per subscript *)
+  access : access;
+  loops : loop_context list;  (** enclosing loops, outermost first *)
+  position : int;  (** order of occurrence in a pre-order walk *)
+}
+
+(** All array references in the statements, in evaluation-ish order
+    (pre-order; for an assignment, RHS reads precede the LHS write).
+    [Read_input] lvalues count as writes. *)
+val collect : Bw_ir.Ast.stmt list -> t list
+
+(** References touching a specific array. *)
+val of_array : string -> t list -> t list
+
+val reads : t list -> t list
+val writes : t list -> t list
+
+(** [revisit_free r ~under] holds when every loop index enclosing [r]
+    strictly inside the loop [under] appears in [r]'s subscripts — i.e.
+    consecutive iterations of those inner loops touch distinct elements,
+    so a value stored at one inner iteration is not re-read by the next.
+    Used to validate textual-order reasoning at dependence distance 0. *)
+val revisit_free : t -> under:string -> bool
+
+(** [subscript_wrt r ~index] is the affine subscript of [r] in the (first)
+    dimension that mentions the loop [index], together with that
+    dimension's position — [None] when no dimension mentions it or the
+    dimension is not affine. *)
+val subscript_wrt : t -> index:string -> (int * Affine.t) option
+
+val pp : Format.formatter -> t -> unit

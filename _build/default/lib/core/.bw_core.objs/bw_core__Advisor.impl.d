@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Balance Bw_exec Bw_fusion Bw_ir Bw_machine Bw_transform Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/advisor.mli: Bw_ir Bw_machine Format

@@ -1,0 +1,1 @@
+lib/core/balance.ml: Bw_exec Bw_ir Bw_machine List

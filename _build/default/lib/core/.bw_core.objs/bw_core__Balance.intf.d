@@ -1,0 +1,1 @@
+lib/core/balance.mli: Bw_ir Bw_machine

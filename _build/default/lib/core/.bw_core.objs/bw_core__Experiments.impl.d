@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Balance Bw_exec Bw_fusion Bw_graph Bw_machine Bw_transform Bw_workloads Cache List Machine Printf Sys Table

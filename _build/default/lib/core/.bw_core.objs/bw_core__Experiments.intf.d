@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Bw_machine Table

@@ -1,0 +1,1 @@
+lib/core/table.ml: Format List Option Printf String

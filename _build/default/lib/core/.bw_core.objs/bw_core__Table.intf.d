@@ -1,0 +1,1 @@
+lib/core/table.mli: Format

@@ -1,0 +1,32 @@
+(** Bandwidth-based performance tuning (the user-facing side of the
+    compiler strategy: the paper's §4 notes the full strategy "supports
+    user tuning ... with bandwidth-based performance tuning and
+    prediction").
+
+    The advisor diagnoses a program on a machine model — which resource
+    binds, how far demand exceeds supply — then tries each transformation
+    the library implements, re-simulates, and reports the ones that
+    actually reduce memory traffic, ranked by measured saving. *)
+
+type suggestion = {
+  action : string;  (** human-readable, e.g. "fuse loops 0 and 1" *)
+  traffic_before : int;  (** bytes *)
+  traffic_after : int;
+  time_speedup : float;  (** predicted time before / after *)
+  apply : Bw_ir.Ast.program;  (** the transformed program *)
+}
+
+type report = {
+  program_name : string;
+  machine_name : string;
+  binding_resource : string;
+  memory_demand_ratio : float;  (** worst demand/supply ratio *)
+  suggestions : suggestion list;  (** best first; empty if nothing helps *)
+}
+
+(** [diagnose ~machine p] — each candidate transformation is validated by
+    re-running the interpreter (suggestions never change observable
+    behaviour). *)
+val diagnose : machine:Bw_machine.Machine.t -> Bw_ir.Ast.program -> report
+
+val pp_report : Format.formatter -> report -> unit

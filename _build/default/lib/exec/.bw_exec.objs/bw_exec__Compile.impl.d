@@ -1,0 +1,1 @@
+lib/exec/compile.ml: Array Bw_ir Float Hashtbl Interp List Printf

@@ -1,0 +1,1 @@
+lib/exec/compile.mli: Bw_ir Interp

@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Array Bw_ir Float Format Hashtbl List Printf

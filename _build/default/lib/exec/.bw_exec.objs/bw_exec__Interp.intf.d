@@ -1,0 +1,1 @@
+lib/exec/interp.mli: Bw_ir Format

@@ -1,0 +1,1 @@
+lib/exec/run.ml: Bw_ir Bw_machine Cache Compile Counters Interp Layout List Machine Reuse Timing Translate

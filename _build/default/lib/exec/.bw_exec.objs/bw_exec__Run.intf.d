@@ -1,0 +1,1 @@
+lib/exec/run.mli: Bw_ir Bw_machine Interp

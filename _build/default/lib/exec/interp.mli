@@ -1,0 +1,73 @@
+(** Checked interpreter for IR programs.
+
+    Arrays are stored column-major (Fortran order, matching the paper's
+    loop nests, where [For j / For i ... a[i,j]] is a stride-1 sweep) and
+    subscripts are 1-based.  Every array access is bounds-checked.
+
+    The interpreter reports two kinds of outcome:
+
+    - an {!observation} — the program's observable behaviour (values
+      printed plus final contents of [live_out] variables), used to verify
+      that a transformed program behaves identically to the original;
+    - a stream of machine events (loads, stores, flops) delivered to a
+      {!sink}, used to drive the cache simulator and the counters.
+
+    Scalars are treated as register-allocated: reading or writing one
+    produces no memory event, matching the balance model's accounting
+    where only array traffic reaches the memory hierarchy. *)
+
+exception Runtime_error of string
+
+type value = V_int of int | V_float of float
+
+val pp_value : Format.formatter -> value -> unit
+
+type observation = {
+  prints : value list;
+  finals : (string * value array) list;
+      (** final contents of each [live_out] variable, in declaration
+          order; scalars are singleton arrays *)
+}
+
+(** Exact structural equality of observations. *)
+val equal_observation : observation -> observation -> bool
+
+(** Equality up to an absolute/relative tolerance on floats, for
+    transformations that reassociate arithmetic. *)
+val close_observation : ?tol:float -> observation -> observation -> bool
+
+val pp_observation : Format.formatter -> observation -> unit
+
+type sink = {
+  on_load : addr:int -> bytes:int -> unit;
+  on_store : addr:int -> bytes:int -> unit;
+  on_flop : int -> unit;
+  on_int_op : int -> unit;
+}
+
+val null_sink : sink
+
+(** [run ?sink ?base_of program] executes [program] (which must pass
+    {!Bw_ir.Check.check}; the interpreter re-checks and raises
+    [Invalid_argument] otherwise).
+
+    [base_of] gives each array's base virtual address for event
+    generation; it defaults to a packed layout.  Addresses of events are
+    virtual — callers apply their own translation.
+
+    @raise Runtime_error on out-of-bounds subscripts, non-positive steps,
+    division by zero, or reading an undeclared input. *)
+val run :
+  ?sink:sink -> ?base_of:(string -> int) -> Bw_ir.Ast.program -> observation
+
+(** The deterministic semantics shared with {!Compile}: the opaque
+    intrinsic function, initial element values, and the [read()] input
+    stream.  Exposed so alternative engines reproduce runs bit-exactly. *)
+
+val intrinsic : string -> float list -> float
+
+(** [init_value init dtype k] is the initial value of element [k]. *)
+val init_value : Bw_ir.Ast.init -> Bw_ir.Ast.dtype -> int -> value
+
+(** [input_value counter dtype] is the [counter]-th [read()] value. *)
+val input_value : int -> Bw_ir.Ast.dtype -> value

@@ -1,0 +1,108 @@
+open Bw_machine
+
+type result = {
+  machine : Machine.t;
+  observation : Interp.observation;
+  counters : Counters.t;
+  cache : Cache.t;
+  breakdown : Timing.breakdown;
+}
+
+let simulate ?(flush = true) ?(engine = `Compiled) ~machine
+    (program : Bw_ir.Ast.program) =
+  let layout =
+    Layout.assign ~align_bytes:machine.Machine.array_align_bytes
+      ~stagger_bytes:machine.Machine.array_stagger_bytes
+      (List.filter_map
+         (fun d ->
+           if Bw_ir.Ast.is_array d then
+             Some (d.Bw_ir.Ast.var_name, Bw_ir.Ast.decl_bytes d)
+           else None)
+         program.Bw_ir.Ast.decls)
+  in
+  let translation = Machine.fresh_translation machine in
+  let cache = Machine.fresh_cache machine in
+  let counters = Counters.create () in
+  let sink =
+    { Interp.on_load =
+        (fun ~addr ~bytes ->
+          counters.Counters.loads <- counters.Counters.loads + 1;
+          Cache.read cache ~addr:(Translate.apply translation addr) ~bytes);
+      on_store =
+        (fun ~addr ~bytes ->
+          counters.Counters.stores <- counters.Counters.stores + 1;
+          Cache.write cache ~addr:(Translate.apply translation addr) ~bytes);
+      on_flop = (fun n -> counters.Counters.flops <- counters.Counters.flops + n);
+      on_int_op =
+        (fun n -> counters.Counters.int_ops <- counters.Counters.int_ops + n) }
+  in
+  let base_of name = Layout.base layout name in
+  let observation =
+    match engine with
+    | `Compiled -> Compile.run ~sink ~base_of program
+    | `Interpreted -> Interp.run ~sink ~base_of program
+  in
+  if flush then Cache.flush cache;
+  let breakdown = Timing.predict machine cache counters in
+  { machine; observation; counters; cache; breakdown }
+
+let observe program =
+  let counters = Counters.create () in
+  let sink =
+    { Interp.on_load =
+        (fun ~addr:_ ~bytes:_ ->
+          counters.Counters.loads <- counters.Counters.loads + 1);
+      on_store =
+        (fun ~addr:_ ~bytes:_ ->
+          counters.Counters.stores <- counters.Counters.stores + 1);
+      on_flop = (fun n -> counters.Counters.flops <- counters.Counters.flops + n);
+      on_int_op =
+        (fun n -> counters.Counters.int_ops <- counters.Counters.int_ops + n) }
+  in
+  let observation = Interp.run ~sink program in
+  (observation, counters)
+
+let reuse_profile ?(granularity = 32) (program : Bw_ir.Ast.program) =
+  let profile = Reuse.create ~granularity () in
+  let layout =
+    Layout.assign ~stagger_bytes:0
+      (List.filter_map
+         (fun d ->
+           if Bw_ir.Ast.is_array d then
+             Some (d.Bw_ir.Ast.var_name, Bw_ir.Ast.decl_bytes d)
+           else None)
+         program.Bw_ir.Ast.decls)
+  in
+  let sink =
+    { Interp.on_load = (fun ~addr ~bytes:_ -> Reuse.access profile ~addr);
+      on_store = (fun ~addr ~bytes:_ -> Reuse.access profile ~addr);
+      on_flop = (fun _ -> ());
+      on_int_op = (fun _ -> ()) }
+  in
+  ignore
+    (Interp.run ~sink ~base_of:(fun name -> Layout.base layout name) program);
+  profile
+
+let effective_bandwidth r =
+  Timing.effective_bandwidth r.machine r.cache r.counters
+
+let nominal_bandwidth r =
+  (* STREAM-style accounting: 8 bytes read per load, 8 written per store;
+     write-allocate fills and conflict refetches are invisible to it *)
+  let nominal = 8 * (r.counters.Counters.loads + r.counters.Counters.stores) in
+  let t = r.breakdown.Timing.total in
+  if t <= 0.0 then 0.0 else float_of_int nominal /. t
+
+let seconds r = r.breakdown.Timing.total
+
+let program_balance r =
+  let flops = float_of_int (max 1 r.counters.Counters.flops) in
+  let register = float_of_int (Counters.register_bytes r.counters) /. flops in
+  let names = Machine.boundary_names r.machine in
+  let boundary_values =
+    List.init (Cache.level_count r.cache) (fun i ->
+        if i = Cache.level_count r.cache - 1 then
+          float_of_int (Timing.memory_bytes r.cache) /. flops
+        else float_of_int (Cache.boundary_bytes r.cache i) /. flops)
+  in
+  List.combine names (register :: boundary_values)

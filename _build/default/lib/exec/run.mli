@@ -1,0 +1,57 @@
+(** End-to-end simulation of an IR program on a machine model: lay out the
+    arrays, interpret the program streaming its memory events through the
+    machine's address translation into its cache hierarchy, and evaluate
+    the timing model. *)
+
+type result = {
+  machine : Bw_machine.Machine.t;
+  observation : Interp.observation;
+  counters : Bw_machine.Counters.t;
+  cache : Bw_machine.Cache.t;
+  breakdown : Bw_machine.Timing.breakdown;
+}
+
+(** [simulate ~machine program] runs the full pipeline.
+
+    [flush] (default [true]) writes dirty cache lines back at the end of
+    the run before evaluating the timing model, charging the program for
+    results that must reach memory.
+
+    [engine] picks the executor: the closure {!Compile}r (default; same
+    semantics, several times faster) or the tree-walking {!Interp}reter.
+    The test suite keeps them bit-identical. *)
+val simulate :
+  ?flush:bool ->
+  ?engine:[ `Compiled | `Interpreted ] ->
+  machine:Bw_machine.Machine.t ->
+  Bw_ir.Ast.program ->
+  result
+
+(** Execute for semantics only — no machine, no cache — returning the
+    observation and the CPU-side counters (flops/loads/stores). *)
+val observe : Bw_ir.Ast.program -> Interp.observation * Bw_machine.Counters.t
+
+(** Effective memory bandwidth of the run, in bytes/second: actual
+    simulated memory traffic over predicted time. *)
+val effective_bandwidth : result -> float
+
+(** The bandwidth a measurement without hardware counters reports
+    (Figure 3's methodology): the program's nominal traffic — 8 bytes per
+    load and 8 per store, STREAM-style — divided by
+    predicted time.  Conflict misses inflate the denominator but not the
+    numerator, producing the paper's 3w6r dip. *)
+val nominal_bandwidth : result -> float
+
+(** Predicted wall-clock seconds of the run. *)
+val seconds : result -> float
+
+(** Program balance: bytes per flop at each hierarchy boundary, outermost
+    first, e.g. [("L1-Reg", 6.4); ("L2-L1", 5.1); ("Mem-L2", 5.2)]. *)
+val program_balance : result -> (string * float) list
+
+(** Profile the program's reuse distances at the given block granularity
+    (no cache model involved; one pass over the address stream).  The
+    resulting curve predicts the miss ratio of any fully associative LRU
+    cache — see {!Bw_machine.Reuse}. *)
+val reuse_profile :
+  ?granularity:int -> Bw_ir.Ast.program -> Bw_machine.Reuse.t

@@ -1,0 +1,1 @@
+lib/fusion/bandwidth_minimal.ml: Array Bw_graph Bw_transform Cost Fusion_graph Hashtbl List Option Result

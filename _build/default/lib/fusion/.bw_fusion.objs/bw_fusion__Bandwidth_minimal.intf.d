@@ -1,0 +1,1 @@
+lib/fusion/bandwidth_minimal.mli: Bw_ir Fusion_graph

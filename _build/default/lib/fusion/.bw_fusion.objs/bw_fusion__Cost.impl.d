@@ -1,0 +1,1 @@
+lib/fusion/cost.ml: Array Bw_graph Fusion_graph List Printf

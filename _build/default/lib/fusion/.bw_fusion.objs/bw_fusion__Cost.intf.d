@@ -1,0 +1,1 @@
+lib/fusion/cost.mli: Fusion_graph

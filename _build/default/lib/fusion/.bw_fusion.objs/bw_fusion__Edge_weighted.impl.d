@@ -1,0 +1,1 @@
+lib/fusion/edge_weighted.ml: Array Bandwidth_minimal Bw_graph Cost Fusion_graph Hashtbl List Option

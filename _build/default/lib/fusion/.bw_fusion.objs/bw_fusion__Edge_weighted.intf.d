@@ -1,0 +1,1 @@
+lib/fusion/edge_weighted.mli: Fusion_graph

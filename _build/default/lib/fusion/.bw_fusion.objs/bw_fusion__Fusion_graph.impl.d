@@ -1,0 +1,1 @@
+lib/fusion/fusion_graph.ml: Array Bw_analysis Bw_graph Bw_ir Bw_transform Format List Printf String

@@ -1,0 +1,1 @@
+lib/fusion/fusion_graph.mli: Bw_graph Bw_ir Format

@@ -1,0 +1,1 @@
+lib/fusion/hyper_fusion.ml: Array Bw_graph Fusion_graph List

@@ -1,0 +1,1 @@
+lib/fusion/hyper_fusion.mli: Bw_graph Fusion_graph

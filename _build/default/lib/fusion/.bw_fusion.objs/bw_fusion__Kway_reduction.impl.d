@@ -1,0 +1,1 @@
+lib/fusion/kway_reduction.ml: Bw_graph Hyper_fusion List

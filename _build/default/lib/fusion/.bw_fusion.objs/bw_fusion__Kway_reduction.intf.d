@@ -1,0 +1,1 @@
+lib/fusion/kway_reduction.mli: Bw_graph Hyper_fusion

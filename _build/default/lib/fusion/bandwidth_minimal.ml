@@ -1,0 +1,152 @@
+type split = { first : int list; second : int list; cut_arrays : string list }
+
+(* Orient a preventing pair so the cut terminal [t] is the node that must
+   (or may) run first. *)
+let orient (g : Fusion_graph.t) u v =
+  if Bw_graph.Topo.has_path g.Fusion_graph.deps u v then (v, u) (* s, t *)
+  else (u, v)
+
+let two_partition (g : Fusion_graph.t) ~within ~s ~t =
+  if not (List.mem s within && List.mem t within) then
+    invalid_arg "two_partition: terminals outside the subset";
+  let members = List.sort_uniq compare within in
+  let m = List.length members in
+  let index_of = Hashtbl.create m in
+  List.iteri (fun i v -> Hashtbl.add index_of v i) members;
+  let local v = Hashtbl.find index_of v in
+  let h = Bw_graph.Hypergraph.create ~size_hint:m () in
+  Bw_graph.Hypergraph.ensure_nodes h m;
+  (* array hyper-edges restricted to the subset *)
+  let arrays_in_subset =
+    List.filter_map
+      (fun (a, e) ->
+        let nodes =
+          Bw_graph.Hypergraph.edge_nodes g.Fusion_graph.hyper e
+          |> List.filter (fun v -> Hashtbl.mem index_of v)
+        in
+        if nodes = [] then None else Some (a, nodes))
+      g.Fusion_graph.edge_of_array
+  in
+  let edge_to_array = Hashtbl.create 16 in
+  List.iter
+    (fun (a, nodes) ->
+      let e = Bw_graph.Hypergraph.add_edge ~label:a h (List.map local nodes) in
+      Hashtbl.add edge_to_array e a)
+    arrays_in_subset;
+  (* dependence enforcement *)
+  let big = List.length arrays_in_subset + 1 in
+  Bw_graph.Digraph.iter_edges g.Fusion_graph.deps (fun u v ->
+      if Hashtbl.mem index_of u && Hashtbl.mem index_of v then begin
+        ignore (Bw_graph.Hypergraph.add_edge ~weight:big h [ local s; local v ]);
+        ignore (Bw_graph.Hypergraph.add_edge ~weight:big h [ local v; local u ]);
+        ignore (Bw_graph.Hypergraph.add_edge ~weight:big h [ local u; local t ])
+      end);
+  let r = Bw_graph.Hyper_cut.min_cut h ~s:(local s) ~t:(local t) in
+  let back locals =
+    List.map (fun i -> List.nth members i) locals |> List.sort compare
+  in
+  let cut_arrays =
+    List.filter_map (fun e -> Hashtbl.find_opt edge_to_array e) r.Bw_graph.Hyper_cut.cut
+  in
+  (* part1 contains s (source side); the t-side executes first *)
+  { first = back r.Bw_graph.Hyper_cut.part2;
+    second = back r.Bw_graph.Hyper_cut.part1;
+    cut_arrays }
+
+let preventing_within (g : Fusion_graph.t) subset =
+  List.filter
+    (fun (u, v) -> List.mem u subset && List.mem v subset)
+    g.Fusion_graph.preventing
+
+let arrays_of (g : Fusion_graph.t) nodes =
+  List.concat_map
+    (fun v -> g.Fusion_graph.nodes.(v).Fusion_graph.arrays)
+    nodes
+  |> List.sort_uniq compare |> List.length
+
+let multi_partition (g : Fusion_graph.t) =
+  let rec solve subset =
+    match preventing_within g subset with
+    | [] -> if subset = [] then [] else [ List.sort compare subset ]
+    | pairs ->
+      (* bisect on the preventing pair whose minimum cut leaves the
+         cheapest two-way split (Kennedy-McKinley-style bisection with
+         the paper's objective) *)
+      let best =
+        List.fold_left
+          (fun acc (u, v) ->
+            let s, t = orient g u v in
+            let split = two_partition g ~within:subset ~s ~t in
+            let cost =
+              arrays_of g split.first + arrays_of g split.second
+            in
+            match acc with
+            | Some (best_cost, _) when best_cost <= cost -> acc
+            | _ -> Some (cost, split))
+          None pairs
+      in
+      let { first; second; _ } = snd (Option.get best) in
+      solve first @ solve second
+  in
+  let result = solve (List.init (Fusion_graph.node_count g) (fun i -> i)) in
+  match Cost.validate g result with
+  | Ok () -> result
+  | Error reason ->
+    (* The heuristic guarantees validity; a failure indicates a bug. *)
+    invalid_arg ("multi_partition produced an invalid plan: " ^ reason)
+
+(* Enumerate canonical set partitions (node i joins an existing block or
+   opens the next one), validate, order blocks topologically, minimise. *)
+let exhaustive ?(objective = Cost.bandwidth_cost) (g : Fusion_graph.t) =
+  let n = Fusion_graph.node_count g in
+  if n > 12 then invalid_arg "exhaustive: too many statements";
+  let best_cost = ref max_int and best = ref None in
+  let assignment = Array.make n 0 in
+  let try_assignment blocks_used =
+    (* preventing pairs separated? *)
+    let ok_preventing =
+      List.for_all
+        (fun (u, v) -> assignment.(u) <> assignment.(v))
+        g.Fusion_graph.preventing
+    in
+    if ok_preventing then begin
+      (* contract dependences onto blocks and topo-sort *)
+      let block_graph = Bw_graph.Digraph.create ~size_hint:blocks_used () in
+      Bw_graph.Digraph.ensure_nodes block_graph blocks_used;
+      Bw_graph.Digraph.iter_edges g.Fusion_graph.deps (fun u v ->
+          if assignment.(u) <> assignment.(v) then
+            Bw_graph.Digraph.add_edge block_graph assignment.(u) assignment.(v));
+      match Bw_graph.Topo.sort block_graph with
+      | None -> ()
+      | Some order ->
+        let partitions =
+          List.map
+            (fun block ->
+              List.init n (fun i -> i)
+              |> List.filter (fun i -> assignment.(i) = block))
+            order
+        in
+        let cost = objective g partitions in
+        if cost < !best_cost then begin
+          best_cost := cost;
+          best := Some partitions
+        end
+    end
+  in
+  let rec go i blocks_used =
+    if i = n then try_assignment blocks_used
+    else
+      for b = 0 to min blocks_used (n - 1) do
+        assignment.(i) <- b;
+        go (i + 1) (max blocks_used (b + 1))
+      done
+  in
+  go 0 0;
+  match !best with
+  | Some partitions -> partitions
+  | None -> Cost.unfused g
+
+let fuse_program p =
+  let g = Fusion_graph.build p in
+  let plan = multi_partition g in
+  Result.map (fun p' -> (p', plan)) (Bw_transform.Fuse.apply_plan p plan)

@@ -1,0 +1,44 @@
+(** Bandwidth-minimal loop fusion (Problems 3.1 / 3.2).
+
+    The two-partition case is solved optimally with the paper's Figure 5
+    algorithm: arrays become unit-weight hyper-edges, and each dependence
+    [u -> v] contributes three hyper-edges [{s,v}; {v,u}; {u,t}] of weight
+    [N] (larger than any array cut), which charge every cut a constant
+    [N] but a violating placement [3N] — so a minimum cut never orders a
+    dependence backwards.  The partition containing the cut terminal [t]
+    executes first.
+
+    The general (multi-partition) problem is NP-complete; [multi_partition]
+    is the recursive-bisection heuristic the paper proposes (bisect on a
+    fusion-preventing pair with the min-cut, recurse on both halves), and
+    [exhaustive] is the exact solver used as a small-instance oracle. *)
+
+type split = {
+  first : int list;  (** partition executed first (cut terminal [t]'s side) *)
+  second : int list;
+  cut_arrays : string list;  (** arrays whose hyper-edge was cut *)
+}
+
+(** [two_partition g ~within ~s ~t] splits the node subset [within]
+    (which must contain [s] and [t]) so that [s] and [t] end up apart,
+    minimising the number of distinct arrays per partition summed.
+    If the dependence graph orders the pair, the earlier node's side runs
+    first; [t]'s side is always [first]. *)
+val two_partition :
+  Fusion_graph.t -> within:int list -> s:int -> t:int -> split
+
+(** Recursive-bisection heuristic for the full problem.  The result
+    always satisfies {!Cost.validate}. *)
+val multi_partition : Fusion_graph.t -> int list list
+
+(** Exact optimum by canonical set-partition enumeration (Bell-number
+    search); intended for [n <= 10].
+    @param objective defaults to {!Cost.bandwidth_cost}. *)
+val exhaustive :
+  ?objective:(Fusion_graph.t -> int list list -> int) ->
+  Fusion_graph.t ->
+  int list list
+
+(** Convenience: run [multi_partition] and apply it to the program with
+    {!Bw_transform.Fuse.apply_plan}. *)
+val fuse_program : Bw_ir.Ast.program -> (Bw_ir.Ast.program * int list list, string) result

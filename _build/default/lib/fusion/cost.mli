@@ -1,0 +1,26 @@
+(** Objectives and correctness constraints over partition sequences.
+
+    A partition sequence is [int list list]: each inner list holds
+    top-level statement positions (ascending), and the outer order is the
+    execution order of the fused partitions. *)
+
+(** Problem 3.1's correctness constraints: every node exactly once, no
+    fusion-preventing pair inside a partition, and every dependence edge
+    flowing to the same or a later partition. *)
+val validate : Fusion_graph.t -> int list list -> (unit, string) result
+
+(** The paper's objective: sum over partitions of the number of distinct
+    arrays the partition accesses (= total arrays loaded from memory). *)
+val bandwidth_cost : Fusion_graph.t -> int list list -> int
+
+(** The Gao et al. / Kennedy-McKinley objective this paper argues
+    against: total number of (loop, loop, shared array) coincidences
+    crossing partition boundaries, counted pairwise with edge weights. *)
+val edge_weight_cost : Fusion_graph.t -> int list list -> int
+
+(** Cost with no fusion at all: each statement its own partition. *)
+val unfused : Fusion_graph.t -> int list list
+
+(** Shared-array count between two nodes (the edge weight of the
+    classical formulation). *)
+val shared_arrays : Fusion_graph.t -> int -> int -> int

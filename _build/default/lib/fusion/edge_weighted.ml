@@ -1,0 +1,68 @@
+(* Union-find over partition blocks, with legality checks on merge. *)
+
+let exhaustive g = Bandwidth_minimal.exhaustive ~objective:Cost.edge_weight_cost g
+
+let greedy_merge (g : Fusion_graph.t) =
+  let n = Fusion_graph.node_count g in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let blocks () =
+    let table = Hashtbl.create n in
+    for i = 0 to n - 1 do
+      let root = find i in
+      let members = Option.value (Hashtbl.find_opt table root) ~default:[] in
+      Hashtbl.replace table root (i :: members)
+    done;
+    Hashtbl.fold (fun _ members acc -> List.rev members :: acc) table []
+  in
+  let legal_partitioning () =
+    (* order blocks topologically over contracted dependences *)
+    let bs = blocks () in
+    let roots = List.map (fun b -> find (List.hd b)) bs in
+    let root_index = Hashtbl.create n in
+    List.iteri (fun i r -> Hashtbl.replace root_index r i) roots;
+    let bg = Bw_graph.Digraph.create ~size_hint:(List.length bs) () in
+    Bw_graph.Digraph.ensure_nodes bg (List.length bs);
+    Bw_graph.Digraph.iter_edges g.Fusion_graph.deps (fun u v ->
+        let bu = Hashtbl.find root_index (find u)
+        and bv = Hashtbl.find root_index (find v) in
+        if bu <> bv then Bw_graph.Digraph.add_edge bg bu bv);
+    match Bw_graph.Topo.sort bg with
+    | None -> None
+    | Some order ->
+      let arr = Array.of_list bs in
+      let partitions =
+        List.map (fun i -> List.sort compare arr.(i)) order
+      in
+      (match Cost.validate g partitions with
+      | Ok () -> Some partitions
+      | Error _ -> None)
+  in
+  (* candidate edges by decreasing shared-array weight *)
+  let candidates = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let w = Cost.shared_arrays g u v in
+      if w > 0 && not (Fusion_graph.prevents g u v) then
+        candidates := (w, u, v) :: !candidates
+    done
+  done;
+  let candidates =
+    List.sort (fun (a, _, _) (b, _, _) -> compare b a) !candidates
+  in
+  List.iter
+    (fun (_, u, v) ->
+      let ru = find u and rv = find v in
+      if ru <> rv then begin
+        (* tentative merge; roll back if it breaks legality *)
+        parent.(ru) <- rv;
+        match legal_partitioning () with
+        | Some _ -> ()
+        | None -> parent.(ru) <- ru
+      end)
+    candidates;
+  match legal_partitioning () with
+  | Some partitions -> partitions
+  | None ->
+    (* unreachable: singletons are always legal *)
+    Cost.unfused g

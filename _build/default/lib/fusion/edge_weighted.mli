@@ -1,0 +1,17 @@
+(** The classical edge-weighted fusion formulation (Gao et al. 1992;
+    Kennedy & McKinley 1993), implemented as the paper's baseline.
+
+    Data reuse between two loops is modelled as an edge weighted by the
+    number of arrays they share; the objective is to minimise the total
+    weight of edges crossing partition boundaries.  Section 3.1.1 shows
+    (Figure 4) that this objective does not minimise memory transfer —
+    the benchmarks here reproduce that gap quantitatively. *)
+
+(** Greedy weighted-fusion heuristic: repeatedly merge the pair of
+    partitions joined by the heaviest edge whose merge stays legal
+    (no preventing pair inside, no dependence cycle between partitions).
+    Result always satisfies {!Cost.validate}. *)
+val greedy_merge : Fusion_graph.t -> int list list
+
+(** Exact optimum of the edge-weighted objective (small instances). *)
+val exhaustive : Fusion_graph.t -> int list list

@@ -1,0 +1,86 @@
+open Bw_ir.Ast
+
+type node = { position : int; is_loop : bool; arrays : string list }
+
+type t = {
+  program : program;
+  nodes : node array;
+  deps : Bw_graph.Digraph.t;
+  preventing : (int * int) list;
+  hyper : Bw_graph.Hypergraph.t;
+  edge_of_array : (string * int) list;
+}
+
+let build (p : program) =
+  let stmts = Array.of_list p.body in
+  let n = Array.length stmts in
+  let nodes =
+    Array.mapi
+      (fun position stmt ->
+        { position;
+          is_loop = (match stmt with For _ -> true | _ -> false);
+          arrays = Bw_ir.Ast_util.arrays_accessed p [ stmt ] })
+      stmts
+  in
+  let deps = Bw_transform.Toplevel.dep_graph p in
+  let preventing = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let bad =
+        match (stmts.(u), stmts.(v)) with
+        | For lu, For lv -> (
+          match Bw_analysis.Depend.fusable lu lv with
+          | Ok () -> false
+          | Error _ -> true)
+        | _ -> true
+      in
+      if bad then preventing := (u, v) :: !preventing
+    done
+  done;
+  let hyper = Bw_graph.Hypergraph.create ~size_hint:n () in
+  Bw_graph.Hypergraph.ensure_nodes hyper n;
+  let all_arrays =
+    Array.to_list nodes
+    |> List.concat_map (fun node -> node.arrays)
+    |> List.sort_uniq compare
+  in
+  let edge_of_array =
+    List.map
+      (fun a ->
+        let members =
+          Array.to_list nodes
+          |> List.filter_map (fun node ->
+                 if List.mem a node.arrays then Some node.position else None)
+        in
+        (a, Bw_graph.Hypergraph.add_edge ~label:a hyper members))
+      all_arrays
+  in
+  { program = p;
+    nodes;
+    deps;
+    preventing = List.rev !preventing;
+    hyper;
+    edge_of_array }
+
+let node_count t = Array.length t.nodes
+
+let prevents t u v =
+  let key = (min u v, max u v) in
+  List.mem key t.preventing
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>fusion graph (%d nodes)@," (node_count t);
+  Array.iter
+    (fun node ->
+      Format.fprintf ppf "  %d%s: {%s}@," node.position
+        (if node.is_loop then "" else " (straight-line)")
+        (String.concat "," node.arrays))
+    t.nodes;
+  Format.fprintf ppf "  preventing: %s@,"
+    (String.concat ", "
+       (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) t.preventing));
+  Format.fprintf ppf "  deps: %s@]"
+    (String.concat ", "
+       (Bw_graph.Digraph.fold_edges t.deps ~init:[] ~f:(fun acc u v ->
+            Printf.sprintf "%d->%d" u v :: acc)
+       |> List.rev))

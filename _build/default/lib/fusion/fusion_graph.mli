@@ -1,0 +1,31 @@
+(** The fusion graph of Section 3.1: one node per top-level statement,
+    directed dependence edges, undirected fusion-preventing edges, and one
+    hyper-edge per array connecting every loop that accesses it.
+
+    Fusion-preventing pairs are derived from the program: two loops whose
+    pairwise fusion {!Bw_analysis.Depend.fusable} rejects, or any pair
+    involving a non-loop statement. *)
+
+type node = {
+  position : int;  (** index into [program.body] *)
+  is_loop : bool;
+  arrays : string list;  (** arrays the statement accesses *)
+}
+
+type t = {
+  program : Bw_ir.Ast.program;
+  nodes : node array;
+  deps : Bw_graph.Digraph.t;  (** must-precede edges between positions *)
+  preventing : (int * int) list;  (** unordered, [u < v] *)
+  hyper : Bw_graph.Hypergraph.t;  (** nodes mirror positions *)
+  edge_of_array : (string * int) list;  (** array -> hyper-edge id *)
+}
+
+val build : Bw_ir.Ast.program -> t
+
+val node_count : t -> int
+
+(** Is the unordered pair fusion-preventing? *)
+val prevents : t -> int -> int -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+type instance = {
+  nodes : int;
+  hyper : Bw_graph.Hypergraph.t;
+  preventing : (int * int) list;
+  deps : Bw_graph.Digraph.t;
+}
+
+let total_length inst partitions =
+  let part_of = Array.make inst.nodes (-1) in
+  List.iteri
+    (fun pi nodes -> List.iter (fun v -> part_of.(v) <- pi) nodes)
+    partitions;
+  let total = ref 0 in
+  Bw_graph.Hypergraph.iter_edges inst.hyper (fun e nodes ->
+      let touched = List.sort_uniq compare (List.map (fun v -> part_of.(v)) nodes) in
+      total :=
+        !total + (List.length touched * Bw_graph.Hypergraph.edge_weight inst.hyper e));
+  !total
+
+let validate inst partitions =
+  let flat = List.concat partitions in
+  if List.sort compare flat <> List.init inst.nodes (fun i -> i) then
+    Error "not a permutation of the nodes"
+  else begin
+    let part_of = Array.make inst.nodes (-1) in
+    List.iteri
+      (fun pi nodes -> List.iter (fun v -> part_of.(v) <- pi) nodes)
+      partitions;
+    if List.exists (fun (u, v) -> part_of.(u) = part_of.(v)) inst.preventing
+    then Error "fusion-preventing pair co-located"
+    else if
+      Bw_graph.Digraph.fold_edges inst.deps ~init:false ~f:(fun acc u v ->
+          acc || part_of.(u) > part_of.(v))
+    then Error "dependence flows backwards"
+    else Ok ()
+  end
+
+let exhaustive inst =
+  let n = inst.nodes in
+  if n > 12 then invalid_arg "Hyper_fusion.exhaustive: too many nodes";
+  let best_cost = ref max_int and best = ref None in
+  let assignment = Array.make n 0 in
+  let consider blocks_used =
+    let ok_preventing =
+      List.for_all
+        (fun (u, v) -> assignment.(u) <> assignment.(v))
+        inst.preventing
+    in
+    if ok_preventing then begin
+      let bg = Bw_graph.Digraph.create ~size_hint:blocks_used () in
+      Bw_graph.Digraph.ensure_nodes bg blocks_used;
+      Bw_graph.Digraph.iter_edges inst.deps (fun u v ->
+          if assignment.(u) <> assignment.(v) then
+            Bw_graph.Digraph.add_edge bg assignment.(u) assignment.(v));
+      match Bw_graph.Topo.sort bg with
+      | None -> ()
+      | Some order ->
+        let partitions =
+          List.map
+            (fun block ->
+              List.init n (fun i -> i)
+              |> List.filter (fun i -> assignment.(i) = block))
+            order
+        in
+        let cost = total_length inst partitions in
+        if cost < !best_cost then begin
+          best_cost := cost;
+          best := Some partitions
+        end
+    end
+  in
+  let rec go i blocks_used =
+    if i = n then consider blocks_used
+    else
+      for b = 0 to min blocks_used (n - 1) do
+        assignment.(i) <- b;
+        go (i + 1) (max blocks_used (b + 1))
+      done
+  in
+  go 0 0;
+  match !best with
+  | Some partitions -> partitions
+  | None -> List.init n (fun i -> [ i ])
+
+let of_fusion_graph (g : Fusion_graph.t) =
+  { nodes = Fusion_graph.node_count g;
+    hyper = g.Fusion_graph.hyper;
+    preventing = g.Fusion_graph.preventing;
+    deps = g.Fusion_graph.deps }

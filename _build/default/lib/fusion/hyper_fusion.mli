@@ -1,0 +1,28 @@
+(** The abstract hyper-graph fusion problem of Problem 3.2, detached from
+    any program: nodes, array hyper-edges, fusion-preventing pairs and
+    dependence edges.  The objective is the total {e length} of all
+    hyper-edges — the number of partitions each edge touches — which
+    equals the total memory transfer (each partition loads each array it
+    touches once). *)
+
+type instance = {
+  nodes : int;
+  hyper : Bw_graph.Hypergraph.t;
+  preventing : (int * int) list;
+  deps : Bw_graph.Digraph.t;
+}
+
+(** Sum over hyper-edges of the number of partitions they intersect,
+    weighted by edge weight. *)
+val total_length : instance -> int list list -> int
+
+val validate : instance -> int list list -> (unit, string) result
+
+(** Exact minimiser of {!total_length} by set-partition enumeration;
+    intended for [nodes <= 10]. *)
+val exhaustive : instance -> int list list
+
+(** The view of a program-derived fusion graph as an abstract instance
+    (hyper-edge weights 1).  [total_length] on it coincides with
+    {!Cost.bandwidth_cost}. *)
+val of_fusion_graph : Fusion_graph.t -> instance

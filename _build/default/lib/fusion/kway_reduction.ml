@@ -1,0 +1,24 @@
+let instance_of_kway g ~terminals =
+  let n = Bw_graph.Undirected.node_count g in
+  let hyper = Bw_graph.Hypergraph.create ~size_hint:n () in
+  Bw_graph.Hypergraph.ensure_nodes hyper n;
+  List.iter
+    (fun (u, v, w) ->
+      ignore (Bw_graph.Hypergraph.add_edge ~weight:w hyper [ u; v ]))
+    (Bw_graph.Undirected.edges g);
+  let rec pairs = function
+    | [] -> []
+    | t :: rest -> List.map (fun t' -> (min t t', max t t')) rest @ pairs rest
+  in
+  { Hyper_fusion.nodes = n;
+    hyper;
+    preventing = pairs terminals;
+    deps = Bw_graph.Digraph.of_edges ~n [] }
+
+let total_weight g =
+  List.fold_left (fun acc (_, _, w) -> acc + w) 0 (Bw_graph.Undirected.edges g)
+
+let optimal_cut_via_fusion g ~terminals =
+  let inst = instance_of_kway g ~terminals in
+  let partitions = Hyper_fusion.exhaustive inst in
+  Hyper_fusion.total_length inst partitions - total_weight g

@@ -1,0 +1,1 @@
+lib/graph/flow.ml: Array List Queue

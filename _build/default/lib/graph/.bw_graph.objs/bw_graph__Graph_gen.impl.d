@@ -1,0 +1,1 @@
+lib/graph/graph_gen.ml: Digraph Hypergraph List Random Undirected

@@ -1,0 +1,1 @@
+lib/graph/graph_gen.mli: Digraph Hypergraph Undirected

@@ -1,0 +1,1 @@
+lib/graph/hyper_cut.ml: Array Hypergraph List Undirected Vertex_cut

@@ -1,0 +1,1 @@
+lib/graph/hyper_cut.mli: Hypergraph

@@ -1,0 +1,1 @@
+lib/graph/hypergraph.ml: Array Format Int List Queue Set

@@ -1,0 +1,1 @@
+lib/graph/hypergraph.mli: Format

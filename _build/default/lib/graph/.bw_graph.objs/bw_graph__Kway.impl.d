@@ -1,0 +1,1 @@
+lib/graph/kway.ml: Array Flow Hashtbl List Queue Undirected

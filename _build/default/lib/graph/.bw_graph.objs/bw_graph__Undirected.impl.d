@@ -1,0 +1,1 @@
+lib/graph/undirected.ml: Array Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/graph/vertex_cut.ml: Array Flow Hashtbl List Undirected

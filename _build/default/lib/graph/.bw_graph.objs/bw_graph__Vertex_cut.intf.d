@@ -1,0 +1,1 @@
+lib/graph/vertex_cut.mli: Undirected

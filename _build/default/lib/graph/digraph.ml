@@ -1,0 +1,123 @@
+type t = {
+  mutable n : int;
+  mutable succ : int list array; (* reversed insertion order, re-reversed on read *)
+  mutable pred : int list array;
+  mutable edges : int;
+  edge_set : (int * int, unit) Hashtbl.t;
+}
+
+let create ?(size_hint = 8) () =
+  let cap = max size_hint 1 in
+  { n = 0;
+    succ = Array.make cap [];
+    pred = Array.make cap [];
+    edges = 0;
+    edge_set = Hashtbl.create (4 * cap) }
+
+let node_count g = g.n
+let edge_count g = g.edges
+
+let grow g wanted =
+  let cap = Array.length g.succ in
+  if wanted > cap then begin
+    let cap' = max wanted (2 * cap) in
+    let succ' = Array.make cap' [] and pred' = Array.make cap' [] in
+    Array.blit g.succ 0 succ' 0 g.n;
+    Array.blit g.pred 0 pred' 0 g.n;
+    g.succ <- succ';
+    g.pred <- pred'
+  end
+
+let add_node g =
+  grow g (g.n + 1);
+  let id = g.n in
+  g.n <- g.n + 1;
+  id
+
+let ensure_nodes g n =
+  if n > g.n then begin
+    grow g n;
+    g.n <- n
+  end
+
+let check g v =
+  if v < 0 || v >= g.n then
+    invalid_arg (Printf.sprintf "Digraph: node %d out of range [0,%d)" v g.n)
+
+let mem_edge g u v =
+  check g u;
+  check g v;
+  Hashtbl.mem g.edge_set (u, v)
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  if not (Hashtbl.mem g.edge_set (u, v)) then begin
+    Hashtbl.add g.edge_set (u, v) ();
+    g.succ.(u) <- v :: g.succ.(u);
+    g.pred.(v) <- u :: g.pred.(v);
+    g.edges <- g.edges + 1
+  end
+
+let succ g u =
+  check g u;
+  List.rev g.succ.(u)
+
+let pred g v =
+  check g v;
+  List.rev g.pred.(v)
+
+let out_degree g u =
+  check g u;
+  List.length g.succ.(u)
+
+let in_degree g v =
+  check g v;
+  List.length g.pred.(v)
+
+let iter_nodes g f =
+  for v = 0 to g.n - 1 do
+    f v
+  done
+
+let iter_succ g u f =
+  check g u;
+  List.iter f (List.rev g.succ.(u))
+
+let iter_edges g f = iter_nodes g (fun u -> iter_succ g u (fun v -> f u v))
+
+let fold_edges g ~init ~f =
+  let acc = ref init in
+  iter_edges g (fun u v -> acc := f !acc u v);
+  !acc
+
+let edges g = fold_edges g ~init:[] ~f:(fun acc u v -> (u, v) :: acc)
+
+let of_edges ~n es =
+  let g = create ~size_hint:n () in
+  ensure_nodes g n;
+  List.iter (fun (u, v) -> add_edge g u v) es;
+  g
+
+let copy g =
+  let g' = of_edges ~n:g.n [] in
+  iter_edges g (fun u v -> add_edge g' u v);
+  g'
+
+let reverse g =
+  let g' = of_edges ~n:g.n [] in
+  iter_edges g (fun u v -> add_edge g' v u);
+  g'
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph (%d nodes, %d edges)" g.n g.edges;
+  iter_nodes g (fun u ->
+      match succ g u with
+      | [] -> ()
+      | vs ->
+        Format.fprintf ppf "@,%d -> %a" u
+          Format.(
+            pp_print_list ~pp_sep:(fun ppf () -> pp_print_string ppf ", ")
+              pp_print_int)
+          vs);
+  Format.fprintf ppf "@]"

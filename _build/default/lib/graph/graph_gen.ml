@@ -1,0 +1,51 @@
+let state seed = Random.State.make [| seed; 0x5eed; seed lxor 0x9e3779b9 |]
+
+let digraph ~seed ~nodes ~edge_prob =
+  let rng = state seed in
+  let g = Digraph.create ~size_hint:nodes () in
+  Digraph.ensure_nodes g nodes;
+  for u = 0 to nodes - 1 do
+    for v = 0 to nodes - 1 do
+      if u <> v && Random.State.float rng 1.0 < edge_prob then
+        Digraph.add_edge g u v
+    done
+  done;
+  g
+
+let dag ~seed ~nodes ~edge_prob =
+  let rng = state seed in
+  let g = Digraph.create ~size_hint:nodes () in
+  Digraph.ensure_nodes g nodes;
+  for u = 0 to nodes - 1 do
+    for v = u + 1 to nodes - 1 do
+      if Random.State.float rng 1.0 < edge_prob then Digraph.add_edge g u v
+    done
+  done;
+  g
+
+let undirected ~seed ~nodes ~edge_prob ~max_weight =
+  let rng = state seed in
+  let g = Undirected.create ~size_hint:nodes () in
+  Undirected.ensure_nodes g nodes;
+  for u = 0 to nodes - 1 do
+    for v = u + 1 to nodes - 1 do
+      if Random.State.float rng 1.0 < edge_prob then
+        Undirected.add_edge ~weight:(1 + Random.State.int rng max_weight) g u v
+    done
+  done;
+  g
+
+let hypergraph ~seed ~nodes ~edges ~max_arity =
+  if max_arity < 1 then invalid_arg "Graph_gen.hypergraph: max_arity < 1";
+  let rng = state seed in
+  let h = Hypergraph.create ~size_hint:nodes () in
+  Hypergraph.ensure_nodes h nodes;
+  for _ = 1 to edges do
+    let arity = 1 + Random.State.int rng max_arity in
+    let members = ref [] in
+    for _ = 1 to arity do
+      members := Random.State.int rng nodes :: !members
+    done;
+    ignore (Hypergraph.add_edge h (List.sort_uniq compare !members))
+  done;
+  h

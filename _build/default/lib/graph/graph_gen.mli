@@ -1,0 +1,23 @@
+(** Deterministic pseudo-random generators for graphs and hyper-graphs,
+    used by property tests and by the scaling benchmarks.  All generators
+    take an explicit [seed] so results are reproducible. *)
+
+(** [digraph ~seed ~nodes ~edge_prob] is a random directed graph; each of
+    the [nodes * (nodes-1)] ordered pairs is an edge with probability
+    [edge_prob]. *)
+val digraph : seed:int -> nodes:int -> edge_prob:float -> Digraph.t
+
+(** [dag ~seed ~nodes ~edge_prob] only generates edges [u -> v] with
+    [u < v], hence always acyclic. *)
+val dag : seed:int -> nodes:int -> edge_prob:float -> Digraph.t
+
+(** [undirected ~seed ~nodes ~edge_prob ~max_weight] draws each unordered
+    pair with the given probability and a weight uniform in
+    [1 .. max_weight]. *)
+val undirected :
+  seed:int -> nodes:int -> edge_prob:float -> max_weight:int -> Undirected.t
+
+(** [hypergraph ~seed ~nodes ~edges ~max_arity] draws [edges] hyper-edges,
+    each over a uniform random subset of size in [1 .. max_arity]. *)
+val hypergraph :
+  seed:int -> nodes:int -> edges:int -> max_arity:int -> Hypergraph.t

@@ -1,0 +1,39 @@
+type result = { value : int; cut : int list; part1 : int list; part2 : int list }
+
+let min_cut h ~s ~t =
+  if s = t then invalid_arg "Hyper_cut.min_cut: s = t";
+  let m = Hypergraph.edge_count h in
+  let n = Hypergraph.node_count h in
+  (* Step 1: conflict graph.  Nodes 0..m-1 mirror the hyper-edges; nodes m
+     and m+1 are the fresh end nodes s' and t'. *)
+  let conflict = Undirected.create ~size_hint:(m + 2) () in
+  Undirected.ensure_nodes conflict (m + 2);
+  let s' = m and t' = m + 1 in
+  for e1 = 0 to m - 1 do
+    for e2 = e1 + 1 to m - 1 do
+      if Hypergraph.edges_overlap h e1 e2 then
+        Undirected.add_edge conflict e1 e2
+    done
+  done;
+  List.iter (fun e -> Undirected.add_edge conflict s' e) (Hypergraph.edges_of_node h s);
+  List.iter (fun e -> Undirected.add_edge conflict t' e) (Hypergraph.edges_of_node h t);
+  (* Steps 2-3: minimum vertex cut between s' and t', mapped back. *)
+  let weight e = Hypergraph.edge_weight h e in
+  let cut =
+    match Vertex_cut.min_cut conflict ~weight ~s:s' ~t:t' with
+    | { cut; _ } -> cut
+    | exception Vertex_cut.Inseparable ->
+      (* A hyper-edge contains both s and t: it is unavoidable, as are all
+         its overlapping neighbours on any s-t path; fall back to cutting
+         everything incident to s.  (Cannot happen for fusion graphs, where
+         s and t are the artificial end loops.) *)
+      Hypergraph.edges_of_node h s
+  in
+  let value = List.fold_left (fun acc e -> acc + weight e) 0 cut in
+  let side = Hypergraph.connected_without h ~removed:cut s in
+  assert (not side.(t));
+  let part1 = ref [] and part2 = ref [] in
+  for v = n - 1 downto 0 do
+    if side.(v) then part1 := v :: !part1 else part2 := v :: !part2
+  done;
+  { value; cut = List.sort compare cut; part1 = !part1; part2 = !part2 }

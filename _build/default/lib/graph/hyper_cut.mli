@@ -1,0 +1,24 @@
+(** Minimum hyper-edge cut between two nodes of a hyper-graph — the
+    algorithm of Figure 5 in the paper.
+
+    Step 1 converts the hyper-graph into a normal ("conflict") graph with
+    one node per hyper-edge, connecting two nodes when the hyper-edges
+    overlap, plus fresh end nodes [s'] (adjacent to the hyper-edges
+    containing [s]) and [t'] (likewise for [t]).  Step 2 finds a minimum
+    vertex cut in the conflict graph via node splitting and max-flow.
+    Step 3 maps the cut vertices back to hyper-edges and splits the node
+    set into the side connected to [s] and the rest. *)
+
+type result = {
+  value : int;  (** total weight of the cut hyper-edges *)
+  cut : int list;  (** ids of the cut hyper-edges, ascending *)
+  part1 : int list;
+      (** nodes still connected to [s] once the cut edges are removed *)
+  part2 : int list;  (** the remaining nodes (contains [t]) *)
+}
+
+(** [min_cut h ~s ~t] computes a minimum-weight set of hyper-edges whose
+    removal disconnects [s] from [t].  Always succeeds: in the worst case
+    the cut contains every hyper-edge incident to [s].
+    @raise Invalid_argument if [s = t]. *)
+val min_cut : Hypergraph.t -> s:int -> t:int -> result

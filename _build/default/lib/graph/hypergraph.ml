@@ -1,0 +1,130 @@
+module Int_set = Set.Make (Int)
+
+type edge = { nodes : Int_set.t; weight : int; label : string option }
+
+type t = {
+  mutable n : int;
+  mutable edges : edge array;
+  mutable m : int;
+  mutable incidence : int list array; (* node -> edge ids, reversed *)
+}
+
+let dummy_edge = { nodes = Int_set.empty; weight = 0; label = None }
+
+let create ?(size_hint = 8) () =
+  let cap = max size_hint 1 in
+  { n = 0; edges = Array.make cap dummy_edge; m = 0; incidence = Array.make cap [] }
+
+let node_count h = h.n
+let edge_count h = h.m
+
+let grow_nodes h wanted =
+  let cap = Array.length h.incidence in
+  if wanted > cap then begin
+    let inc' = Array.make (max wanted (2 * cap)) [] in
+    Array.blit h.incidence 0 inc' 0 h.n;
+    h.incidence <- inc'
+  end
+
+let add_node h =
+  grow_nodes h (h.n + 1);
+  let id = h.n in
+  h.n <- h.n + 1;
+  id
+
+let ensure_nodes h n =
+  if n > h.n then begin
+    grow_nodes h n;
+    h.n <- n
+  end
+
+let check_node h v =
+  if v < 0 || v >= h.n then invalid_arg "Hypergraph: node out of range"
+
+let check_edge h e =
+  if e < 0 || e >= h.m then invalid_arg "Hypergraph: edge out of range"
+
+let add_edge ?(weight = 1) ?label h nodes =
+  List.iter (check_node h) nodes;
+  if weight < 0 then invalid_arg "Hypergraph.add_edge: negative weight";
+  let cap = Array.length h.edges in
+  if h.m + 1 > cap then begin
+    let edges' = Array.make (2 * cap) dummy_edge in
+    Array.blit h.edges 0 edges' 0 h.m;
+    h.edges <- edges'
+  end;
+  let id = h.m in
+  h.edges.(id) <- { nodes = Int_set.of_list nodes; weight; label };
+  h.m <- h.m + 1;
+  Int_set.iter
+    (fun v -> h.incidence.(v) <- id :: h.incidence.(v))
+    h.edges.(id).nodes;
+  id
+
+let edge_nodes h e =
+  check_edge h e;
+  Int_set.elements h.edges.(e).nodes
+
+let edge_weight h e =
+  check_edge h e;
+  h.edges.(e).weight
+
+let edge_label h e =
+  check_edge h e;
+  h.edges.(e).label
+
+let edges_of_node h v =
+  check_node h v;
+  List.rev h.incidence.(v)
+
+let edge_mem h e v =
+  check_edge h e;
+  check_node h v;
+  Int_set.mem v h.edges.(e).nodes
+
+let edges_overlap h e1 e2 =
+  check_edge h e1;
+  check_edge h e2;
+  not (Int_set.is_empty (Int_set.inter h.edges.(e1).nodes h.edges.(e2).nodes))
+
+let iter_edges h f =
+  for e = 0 to h.m - 1 do
+    f e (Int_set.elements h.edges.(e).nodes)
+  done
+
+let connected_without h ~removed s =
+  check_node h s;
+  let removed_set = Int_set.of_list removed in
+  let seen = Array.make h.n false in
+  let edge_seen = Array.make h.m false in
+  let queue = Queue.create () in
+  seen.(s) <- true;
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun e ->
+        if (not edge_seen.(e)) && not (Int_set.mem e removed_set) then begin
+          edge_seen.(e) <- true;
+          Int_set.iter
+            (fun v ->
+              if not seen.(v) then begin
+                seen.(v) <- true;
+                Queue.add v queue
+              end)
+            h.edges.(e).nodes
+        end)
+      h.incidence.(u)
+  done;
+  seen
+
+let pp ppf h =
+  Format.fprintf ppf "@[<v>hypergraph (%d nodes, %d edges)" h.n h.m;
+  iter_edges h (fun e nodes ->
+      Format.fprintf ppf "@,e%d%s {%a}" e
+        (match edge_label h e with Some l -> ":" ^ l | None -> "")
+        Format.(
+          pp_print_list ~pp_sep:(fun ppf () -> pp_print_string ppf ", ")
+            pp_print_int)
+        nodes);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,44 @@
+(** Hyper-graphs: graphs whose edges connect arbitrary sets of nodes.
+
+    The paper models data sharing among loops with hyper-edges — one per
+    array, connecting every loop that accesses the array — because a normal
+    edge cannot express that the same data is shared by more than two
+    loops (Section 3.1.2).
+
+    Nodes are dense integers; hyper-edges get dense integer ids in creation
+    order and carry an integer weight (default 1) and an optional label
+    (typically the array name). *)
+
+type t
+
+val create : ?size_hint:int -> unit -> t
+val add_node : t -> int
+val ensure_nodes : t -> int -> unit
+val node_count : t -> int
+val edge_count : t -> int
+
+(** [add_edge h nodes] adds a hyper-edge over [nodes] (duplicates inside
+    [nodes] are collapsed; the set may be empty) and returns its id. *)
+val add_edge : ?weight:int -> ?label:string -> t -> int list -> int
+
+val edge_nodes : t -> int -> int list
+val edge_weight : t -> int -> int
+val edge_label : t -> int -> string option
+
+(** Ids of the hyper-edges incident to a node. *)
+val edges_of_node : t -> int -> int list
+
+(** [edge_mem h e v] tests whether node [v] belongs to hyper-edge [e]. *)
+val edge_mem : t -> int -> int -> bool
+
+(** [edges_overlap h e1 e2] tests whether two hyper-edges share a node. *)
+val edges_overlap : t -> int -> int -> bool
+
+val iter_edges : t -> (int -> int list -> unit) -> unit
+
+(** [connected_without h ~removed s] marks the nodes connected to [s] by
+    paths of hyper-edges, ignoring the hyper-edges in [removed].  Two nodes
+    are adjacent when some remaining hyper-edge contains both. *)
+val connected_without : t -> removed:int list -> int -> bool array
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,155 @@
+type cut = { value : int; removed : (int * int) list; assignment : int array }
+
+let check_terminals g terminals =
+  let n = Undirected.node_count g in
+  if List.length terminals < 2 then
+    invalid_arg "Kway: need at least two terminals";
+  let sorted = List.sort_uniq compare terminals in
+  if List.length sorted <> List.length terminals then
+    invalid_arg "Kway: duplicate terminals";
+  List.iter
+    (fun t ->
+      if t < 0 || t >= n then invalid_arg "Kway: terminal out of range")
+    terminals
+
+let cut_value g assignment =
+  List.fold_left
+    (fun acc (u, v, w) ->
+      if assignment.(u) <> assignment.(v) then acc + w else acc)
+    0 (Undirected.edges g)
+
+(* Edge min-cut between [terminal] and a merged super-sink of [others],
+   via max-flow on a bidirected network. *)
+let isolating_cut g ~terminal ~others =
+  let n = Undirected.node_count g in
+  let sink = n in
+  let net = Flow.create (n + 1) in
+  let arc_of_edge = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v, w) ->
+      if u <> v then begin
+        let a = Flow.add_edge net ~src:u ~dst:v ~cap:w in
+        let b = Flow.add_edge net ~src:v ~dst:u ~cap:w in
+        Hashtbl.add arc_of_edge a (u, v);
+        Hashtbl.add arc_of_edge b (u, v)
+      end)
+    (Undirected.edges g);
+  List.iter
+    (fun t ->
+      ignore (Flow.add_edge net ~src:t ~dst:sink ~cap:Flow.infinite))
+    others;
+  let value, side, cut_arcs = Flow.min_cut net ~s:terminal ~t:sink in
+  ignore side;
+  let removed =
+    List.filter_map (fun a -> Hashtbl.find_opt arc_of_edge a) cut_arcs
+    |> List.map (fun (u, v) -> if u <= v then (u, v) else (v, u))
+    |> List.sort_uniq compare
+  in
+  (value, removed)
+
+let assignment_of_removed g ~terminals removed =
+  let n = Undirected.node_count g in
+  let removed_set = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v) -> Hashtbl.replace removed_set (min u v, max u v) ())
+    removed;
+  let assignment = Array.make n (-1) in
+  List.iteri
+    (fun idx t ->
+      (* BFS from each terminal avoiding removed edges; earlier terminals
+         win ties (they are disconnected anyway in a valid cut). *)
+      if assignment.(t) = -1 then begin
+        let queue = Queue.create () in
+        assignment.(t) <- idx;
+        Queue.add t queue;
+        while not (Queue.is_empty queue) do
+          let u = Queue.pop queue in
+          List.iter
+            (fun v ->
+              let key = (min u v, max u v) in
+              if (not (Hashtbl.mem removed_set key)) && assignment.(v) = -1
+              then begin
+                assignment.(v) <- idx;
+                Queue.add v queue
+              end)
+            (Undirected.neighbours g u)
+        done
+      end)
+    terminals;
+  assignment
+
+let isolation g ~terminals =
+  check_terminals g terminals;
+  let cuts =
+    List.map
+      (fun t ->
+        let others = List.filter (fun x -> x <> t) terminals in
+        isolating_cut g ~terminal:t ~others)
+      terminals
+  in
+  (* Union of all but the single most expensive isolating cut. *)
+  let most_expensive =
+    List.fold_left (fun acc (v, _) -> max acc v) min_int cuts
+  in
+  let dropped = ref false in
+  let removed =
+    List.concat_map
+      (fun (v, edges) ->
+        if v = most_expensive && not !dropped then begin
+          dropped := true;
+          []
+        end
+        else edges)
+      cuts
+    |> List.sort_uniq compare
+  in
+  let assignment = assignment_of_removed g ~terminals removed in
+  (* Re-derive the exact value: the union can overlap, and edges internal
+     to one side may appear; charge only edges that truly separate. *)
+  let value =
+    List.fold_left
+      (fun acc (u, v) -> acc + Undirected.weight g u v)
+      0 removed
+  in
+  { value; removed; assignment }
+
+let exact g ~terminals =
+  check_terminals g terminals;
+  let n = Undirected.node_count g in
+  let k = List.length terminals in
+  let terminal_index = Hashtbl.create k in
+  List.iteri (fun idx t -> Hashtbl.add terminal_index t idx) terminals;
+  let free =
+    List.filter
+      (fun v -> not (Hashtbl.mem terminal_index v))
+      (List.init n (fun v -> v))
+  in
+  let base = Array.make n (-1) in
+  List.iteri (fun idx t -> base.(t) <- idx) terminals;
+  let best_value = ref max_int in
+  let best_assignment = ref (Array.copy base) in
+  let rec go assigned = function
+    | [] ->
+      let v = cut_value g assigned in
+      if v < !best_value then begin
+        best_value := v;
+        best_assignment := Array.copy assigned
+      end
+    | node :: rest ->
+      for idx = 0 to k - 1 do
+        assigned.(node) <- idx;
+        go assigned rest
+      done;
+      assigned.(node) <- -1
+  in
+  go (Array.copy base) free;
+  let assignment = !best_assignment in
+  let removed =
+    List.filter_map
+      (fun (u, v, _) ->
+        if assignment.(u) <> assignment.(v) then Some (min u v, max u v)
+        else None)
+      (Undirected.edges g)
+    |> List.sort_uniq compare
+  in
+  { value = !best_value; removed; assignment }

@@ -1,0 +1,101 @@
+let sort g =
+  let n = Digraph.node_count g in
+  let indeg = Array.make n 0 in
+  Digraph.iter_edges g (fun _ v -> indeg.(v) <- indeg.(v) + 1);
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    incr seen;
+    order := u :: !order;
+    Digraph.iter_succ g u (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+  done;
+  if !seen = n then Some (List.rev !order) else None
+
+let is_acyclic g = sort g <> None
+
+(* Tarjan's algorithm, iterative to survive deep graphs. *)
+let scc g =
+  let n = Digraph.node_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let components = ref [] in
+  let visit root =
+    (* Work list holds (node, remaining successors). *)
+    let work = Stack.create () in
+    Stack.push (root, Digraph.succ g root) work;
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    Stack.push root stack;
+    on_stack.(root) <- true;
+    while not (Stack.is_empty work) do
+      let u, rest = Stack.pop work in
+      match rest with
+      | v :: rest' ->
+        Stack.push (u, rest') work;
+        if index.(v) = -1 then begin
+          index.(v) <- !next_index;
+          lowlink.(v) <- !next_index;
+          incr next_index;
+          Stack.push v stack;
+          on_stack.(v) <- true;
+          Stack.push (v, Digraph.succ g v) work
+        end
+        else if on_stack.(v) then lowlink.(u) <- min lowlink.(u) index.(v)
+      | [] ->
+        if lowlink.(u) = index.(u) then begin
+          let comp = ref [] in
+          let continue = ref true in
+          while !continue do
+            let w = Stack.pop stack in
+            on_stack.(w) <- false;
+            comp := w :: !comp;
+            if w = u then continue := false
+          done;
+          components := !comp :: !components
+        end;
+        if not (Stack.is_empty work) then begin
+          let parent, _ = Stack.top work in
+          lowlink.(parent) <- min lowlink.(parent) lowlink.(u)
+        end
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  List.rev !components
+
+let reachable_from_set g srcs =
+  let n = Digraph.node_count g in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  let enqueue v =
+    if v >= 0 && v < n && not seen.(v) then begin
+      seen.(v) <- true;
+      Queue.add v queue
+    end
+  in
+  List.iter enqueue srcs;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Digraph.iter_succ g u enqueue
+  done;
+  seen
+
+let reachable g s = reachable_from_set g [ s ]
+
+let has_path g u v =
+  let r = reachable g u in
+  v >= 0 && v < Array.length r && r.(v)
+
+let transitive_closure g =
+  let n = Digraph.node_count g in
+  Array.init n (fun u -> reachable g u)

@@ -1,0 +1,106 @@
+type t = {
+  mutable n : int;
+  mutable adj : int list array;
+  mutable edges : int;
+  weights : (int * int, int) Hashtbl.t;
+}
+
+let key u v = if u <= v then (u, v) else (v, u)
+
+let create ?(size_hint = 8) () =
+  { n = 0;
+    adj = Array.make (max size_hint 1) [];
+    edges = 0;
+    weights = Hashtbl.create 64 }
+
+let node_count g = g.n
+let edge_count g = g.edges
+
+let grow g wanted =
+  let cap = Array.length g.adj in
+  if wanted > cap then begin
+    let adj' = Array.make (max wanted (2 * cap)) [] in
+    Array.blit g.adj 0 adj' 0 g.n;
+    g.adj <- adj'
+  end
+
+let add_node g =
+  grow g (g.n + 1);
+  let id = g.n in
+  g.n <- g.n + 1;
+  id
+
+let ensure_nodes g n =
+  if n > g.n then begin
+    grow g n;
+    g.n <- n
+  end
+
+let check g v =
+  if v < 0 || v >= g.n then invalid_arg "Undirected: node out of range"
+
+let mem_edge g u v =
+  check g u;
+  check g v;
+  Hashtbl.mem g.weights (key u v)
+
+let add_edge ?(weight = 1) g u v =
+  check g u;
+  check g v;
+  if not (Hashtbl.mem g.weights (key u v)) then begin
+    Hashtbl.add g.weights (key u v) weight;
+    g.adj.(u) <- v :: g.adj.(u);
+    if u <> v then g.adj.(v) <- u :: g.adj.(v);
+    g.edges <- g.edges + 1
+  end
+
+let weight g u v =
+  check g u;
+  check g v;
+  match Hashtbl.find_opt g.weights (key u v) with
+  | Some w -> w
+  | None -> invalid_arg "Undirected.weight: no such edge"
+
+let neighbours g u =
+  check g u;
+  List.rev g.adj.(u)
+
+let edges g =
+  Hashtbl.fold (fun (u, v) w acc -> (u, v, w) :: acc) g.weights []
+  |> List.sort compare
+
+let component_of g root =
+  check g root;
+  let seen = Array.make g.n false in
+  let queue = Queue.create () in
+  seen.(root) <- true;
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v queue
+        end)
+      g.adj.(u)
+  done;
+  seen
+
+let components g =
+  let seen = Array.make (max g.n 1) false in
+  let comps = ref [] in
+  for v = 0 to g.n - 1 do
+    if not seen.(v) then begin
+      let flags = component_of g v in
+      let comp = ref [] in
+      for u = g.n - 1 downto 0 do
+        if flags.(u) then begin
+          seen.(u) <- true;
+          comp := u :: !comp
+        end
+      done;
+      comps := !comp :: !comps
+    end
+  done;
+  List.rev !comps

@@ -1,0 +1,46 @@
+type result = { value : int; cut : int list; source_side : bool array }
+
+exception Inseparable
+
+let min_cut g ~weight ~s ~t =
+  let n = Undirected.node_count g in
+  if s = t || Undirected.mem_edge g s t then raise Inseparable;
+  let v_in v = 2 * v and v_out v = (2 * v) + 1 in
+  let net = Flow.create (2 * n) in
+  let internal_arc = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    let cap =
+      if v = s || v = t then Flow.infinite
+      else begin
+        let w = weight v in
+        if w < 0 then invalid_arg "Vertex_cut.min_cut: negative weight";
+        w
+      end
+    in
+    internal_arc.(v) <- Flow.add_edge net ~src:(v_in v) ~dst:(v_out v) ~cap
+  done;
+  List.iter
+    (fun (u, v, _) ->
+      ignore (Flow.add_edge net ~src:(v_out u) ~dst:(v_in v) ~cap:Flow.infinite);
+      ignore (Flow.add_edge net ~src:(v_out v) ~dst:(v_in u) ~cap:Flow.infinite))
+    (Undirected.edges g);
+  let value, side, cut_arcs = Flow.min_cut net ~s:(v_out s) ~t:(v_in t) in
+  if value >= Flow.infinite then raise Inseparable;
+  (* Cut vertices: internal arcs crossing the cut. *)
+  let is_cut = Array.make n false in
+  let arc_to_vertex = Hashtbl.create n in
+  Array.iteri (fun v a -> Hashtbl.add arc_to_vertex a v) internal_arc;
+  List.iter
+    (fun a ->
+      match Hashtbl.find_opt arc_to_vertex a with
+      | Some v -> is_cut.(v) <- true
+      | None -> ())
+    cut_arcs;
+  let cut = ref [] in
+  for v = n - 1 downto 0 do
+    if is_cut.(v) then cut := v :: !cut
+  done;
+  let source_side =
+    Array.init n (fun v -> (not is_cut.(v)) && side.(v_in v))
+  in
+  { value; cut = !cut; source_side }

@@ -1,0 +1,25 @@
+(** Minimum weighted vertex cut between two terminals of an undirected
+    graph, by the classical node-splitting reduction to edge min-cut:
+    every vertex [v] becomes an arc [v_in -> v_out] of capacity
+    [weight v]; every undirected edge becomes a pair of infinite arcs.
+    The saturated internal arcs of a minimum s-t cut are the cut
+    vertices. *)
+
+type result = {
+  value : int;  (** total weight of the cut vertices *)
+  cut : int list;  (** the cut vertices, ascending *)
+  source_side : bool array;
+      (** [source_side.(v)] iff [v] remains connected to [s] once the cut
+          vertices are removed.  Cut vertices themselves are on neither
+          side and are marked [false]. *)
+}
+
+exception Inseparable
+(** Raised when [s] and [t] are adjacent or equal, in which case no vertex
+    cut can separate them. *)
+
+(** [min_cut g ~weight ~s ~t] computes a minimum vertex cut separating
+    [s] from [t]; the terminals are never part of the cut.
+    @param weight weight of each non-terminal vertex (must be [>= 0]).
+    @raise Inseparable if [s = t] or [g] has the edge [s -- t]. *)
+val min_cut : Undirected.t -> weight:(int -> int) -> s:int -> t:int -> result

@@ -1,0 +1,1 @@
+lib/ir/ast.pp.ml: List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ir/ast_util.pp.ml: Ast Hashtbl List Printf

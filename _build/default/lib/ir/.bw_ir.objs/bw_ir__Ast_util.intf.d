@@ -1,0 +1,1 @@
+lib/ir/ast_util.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/ir/builder.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/ir/check.pp.ml: Ast Format Hashtbl List Pretty Printf String

@@ -1,0 +1,1 @@
+lib/ir/check.pp.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/ir/lexer.pp.mli:

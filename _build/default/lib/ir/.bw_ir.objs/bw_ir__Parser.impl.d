@@ -1,0 +1,1 @@
+lib/ir/parser.pp.ml: Ast Check Format Lexer List Printf String

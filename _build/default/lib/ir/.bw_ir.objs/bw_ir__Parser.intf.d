@@ -1,0 +1,1 @@
+lib/ir/parser.pp.mli: Ast Format

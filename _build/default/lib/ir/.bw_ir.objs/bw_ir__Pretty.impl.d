@@ -1,0 +1,1 @@
+lib/ir/pretty.pp.ml: Ast Format List String

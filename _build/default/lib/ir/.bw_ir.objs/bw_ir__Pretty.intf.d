@@ -1,0 +1,1 @@
+lib/ir/pretty.pp.mli: Ast Format

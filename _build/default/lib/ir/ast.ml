@@ -1,0 +1,119 @@
+(** Abstract syntax of the loop-nest intermediate representation.
+
+    The IR models the Fortran-style scientific programs of the paper:
+    a flat list of declarations (scalars and dense rectangular arrays)
+    followed by a statement list of counted loops, assignments,
+    conditionals, input reads and result prints.  Array extents are
+    concrete integers — workloads are OCaml functions that bake a problem
+    size into the program — while loop bounds are ordinary expressions so
+    that transformations such as tiling can introduce symbolic bounds. *)
+
+type dtype = F64 | I64 [@@deriving show { with_path = false }, eq, ord]
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod  (** integer remainder; ill-typed on floats *)
+  | Min
+  | Max
+[@@deriving show { with_path = false }, eq, ord]
+
+type unop = Neg | Abs | Sqrt | Int_to_float
+[@@deriving show { with_path = false }, eq, ord]
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+[@@deriving show { with_path = false }, eq, ord]
+
+type expr =
+  | Int_lit of int
+  | Float_lit of float
+  | Scalar of string  (** scalar variable or loop index *)
+  | Element of string * expr list  (** array element, one index per dim *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+      (** opaque numeric intrinsic (the paper's [f], [g]); costed as one
+          flop plus the cost of its arguments *)
+[@@deriving show { with_path = false }, eq, ord]
+
+type cond =
+  | Cmp of cmpop * expr * expr
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+[@@deriving show { with_path = false }, eq, ord]
+
+type lvalue = Lscalar of string | Lelement of string * expr list
+[@@deriving show { with_path = false }, eq, ord]
+
+type stmt =
+  | Assign of lvalue * expr
+  | If of cond * stmt list * stmt list
+  | For of loop
+  | Read_input of lvalue
+      (** the paper's [read(a[i,j])]: store a fresh input value; counts as
+          a store but not a flop *)
+  | Print of expr  (** observable output, compared across transformations *)
+
+and loop = {
+  index : string;
+  lo : expr;
+  hi : expr;  (** inclusive upper bound, Fortran-style *)
+  step : expr;  (** must evaluate to a positive integer *)
+  body : stmt list;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+(** How a variable's storage is initialised before execution.  Initial
+    values are deterministic so that a transformed program can be checked
+    against the original run for bit-identical observable behaviour. *)
+type init =
+  | Init_zero
+  | Init_linear of float * float
+      (** [Init_linear (a, b)]: element at flattened offset [k] starts as
+          [a +. (b *. float k)] (or the truncation for [I64]) *)
+  | Init_hash of int
+      (** pseudo-random but reproducible: a hash of the offset and seed *)
+  | Init_lanes of init * int
+      (** [Init_lanes (inner, l)]: element [k] starts as [inner (k / l)] —
+          the initialiser of an array into which [l] identically
+          initialised arrays were interleaved by data regrouping *)
+[@@deriving show { with_path = false }, eq, ord]
+
+type decl = {
+  var_name : string;
+  dtype : dtype;
+  dims : int list;  (** [[]] for scalars; extents are per-dimension *)
+  init : init;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+type program = {
+  prog_name : string;
+  decls : decl list;
+  body : stmt list;
+  live_out : string list;
+      (** variables whose final contents are observable after the program
+          finishes; stores into anything else may legally be eliminated *)
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+(** Number of elements of a declaration (1 for scalars). *)
+let decl_size d = List.fold_left ( * ) 1 d.dims
+
+(** Bytes occupied by one element of the given type (both are 8 here, but
+    the indirection keeps sizing honest if smaller types are added). *)
+let dtype_bytes = function F64 -> 8 | I64 -> 8
+
+(** Total bytes occupied by a declaration. *)
+let decl_bytes d = decl_size d * dtype_bytes d.dtype
+
+let find_decl program name =
+  List.find_opt (fun d -> d.var_name = name) program.decls
+
+let is_array d = d.dims <> []
+
+(** The name an lvalue writes. *)
+let lvalue_name = function Lscalar s -> s | Lelement (a, _) -> a

@@ -1,0 +1,36 @@
+(** Hand-written lexer for the small Fortran-like surface language.
+    Keywords are case-insensitive; comments run from [//] or [!] to the
+    end of the line. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | ASSIGN  (** [=] in statement position *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ  (** [==] *)
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | KW of string  (** lower-cased keyword: program, for, end, if, ... *)
+  | EOF
+
+type t = { token : token; line : int }
+
+exception Lex_error of string * int  (** message, line *)
+
+(** Tokenise a whole source string. The final element is [EOF]. *)
+val tokenize : string -> t list
+
+val token_to_string : token -> string

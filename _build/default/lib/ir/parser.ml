@@ -1,0 +1,401 @@
+open Ast
+
+type parse_error = { message : string; line : int }
+
+let pp_parse_error ppf e =
+  Format.fprintf ppf "parse error at line %d: %s" e.line e.message
+
+exception Error of parse_error
+
+type state = { mutable tokens : Lexer.t list }
+
+let fail_at line fmt =
+  Printf.ksprintf (fun message -> raise (Error { message; line })) fmt
+
+let peek st =
+  match st.tokens with
+  | t :: _ -> t
+  | [] -> { Lexer.token = Lexer.EOF; line = 0 }
+
+let advance st =
+  match st.tokens with _ :: rest -> st.tokens <- rest | [] -> ()
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st token =
+  let t = next st in
+  if t.Lexer.token <> token then
+    fail_at t.line "expected %s, found %s"
+      (Lexer.token_to_string token)
+      (Lexer.token_to_string t.Lexer.token)
+
+let expect_ident st =
+  let t = next st in
+  match t.Lexer.token with
+  | Lexer.IDENT s -> s
+  | other -> fail_at t.line "expected identifier, found %s" (Lexer.token_to_string other)
+
+let expect_int st =
+  let t = next st in
+  match t.Lexer.token with
+  | Lexer.INT n -> n
+  | other -> fail_at t.line "expected integer, found %s" (Lexer.token_to_string other)
+
+let expect_number st =
+  let t = next st in
+  match t.Lexer.token with
+  | Lexer.FLOAT x -> x
+  | Lexer.INT n -> float_of_int n
+  | Lexer.MINUS -> (
+    let t2 = next st in
+    match t2.Lexer.token with
+    | Lexer.FLOAT x -> -.x
+    | Lexer.INT n -> float_of_int (-n)
+    | other ->
+      fail_at t2.line "expected number after '-', found %s"
+        (Lexer.token_to_string other))
+  | other -> fail_at t.line "expected number, found %s" (Lexer.token_to_string other)
+
+let builtin_unops = [ ("abs", Abs); ("sqrt", Sqrt); ("float", Int_to_float) ]
+
+(* --- expressions ------------------------------------------------------- *)
+
+let rec parse_expression st =
+  let lhs = parse_term st in
+  let rec loop lhs =
+    match (peek st).Lexer.token with
+    | Lexer.PLUS ->
+      advance st;
+      loop (Binary (Add, lhs, parse_term st))
+    | Lexer.MINUS ->
+      advance st;
+      loop (Binary (Sub, lhs, parse_term st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_term st =
+  let lhs = parse_factor st in
+  let rec loop lhs =
+    match (peek st).Lexer.token with
+    | Lexer.STAR ->
+      advance st;
+      loop (Binary (Mul, lhs, parse_factor st))
+    | Lexer.SLASH ->
+      advance st;
+      loop (Binary (Div, lhs, parse_factor st))
+    | Lexer.PERCENT ->
+      advance st;
+      loop (Binary (Mod, lhs, parse_factor st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_factor st =
+  let t = next st in
+  match t.Lexer.token with
+  | Lexer.INT n -> Int_lit n
+  | Lexer.FLOAT x -> Float_lit x
+  | Lexer.MINUS -> Unary (Neg, parse_factor st)
+  | Lexer.LPAREN ->
+    let e = parse_expression st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.IDENT name -> (
+    match (peek st).Lexer.token with
+    | Lexer.LBRACKET ->
+      advance st;
+      let idxs = parse_expr_list st Lexer.RBRACKET in
+      Element (name, idxs)
+    | Lexer.LPAREN ->
+      advance st;
+      let args = parse_expr_list st Lexer.RPAREN in
+      let lower = String.lowercase_ascii name in
+      (match (List.assoc_opt lower builtin_unops, args) with
+      | Some op, [ a ] -> Unary (op, a)
+      | Some _, _ ->
+        fail_at t.line "builtin '%s' expects exactly one argument" name
+      | None, args -> (
+        match (lower, args) with
+        | "min", [ a; b ] -> Binary (Min, a, b)
+        | "max", [ a; b ] -> Binary (Max, a, b)
+        | ("min" | "max"), _ ->
+          fail_at t.line "'%s' expects exactly two arguments" name
+        | _ -> Call (name, args)))
+    | _ -> Scalar name)
+  | other ->
+    fail_at t.line "expected an expression, found %s" (Lexer.token_to_string other)
+
+and parse_expr_list st closing =
+  if (peek st).Lexer.token = closing then begin
+    advance st;
+    []
+  end
+  else begin
+    let first = parse_expression st in
+    let rec loop acc =
+      let t = next st in
+      match t.Lexer.token with
+      | c when c = closing -> List.rev acc
+      | Lexer.COMMA -> loop (parse_expression st :: acc)
+      | other ->
+        fail_at t.line "expected ',' or %s, found %s"
+          (Lexer.token_to_string closing)
+          (Lexer.token_to_string other)
+    in
+    loop [ first ]
+  end
+
+(* --- conditions -------------------------------------------------------- *)
+
+let rec parse_cond st =
+  let lhs = parse_conjunction st in
+  match (peek st).Lexer.token with
+  | Lexer.KW "or" ->
+    advance st;
+    Or (lhs, parse_cond st)
+  | _ -> lhs
+
+and parse_conjunction st =
+  let lhs = parse_cond_atom st in
+  match (peek st).Lexer.token with
+  | Lexer.KW "and" ->
+    advance st;
+    And (lhs, parse_conjunction st)
+  | _ -> lhs
+
+and parse_cond_atom st =
+  match (peek st).Lexer.token with
+  | Lexer.KW "not" ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let c = parse_cond st in
+    expect st Lexer.RPAREN;
+    Not c
+  | _ ->
+    let lhs = parse_expression st in
+    let t = next st in
+    let op =
+      match t.Lexer.token with
+      | Lexer.EQ | Lexer.ASSIGN -> Eq
+      | Lexer.NE -> Ne
+      | Lexer.LT -> Lt
+      | Lexer.LE -> Le
+      | Lexer.GT -> Gt
+      | Lexer.GE -> Ge
+      | other ->
+        fail_at t.line "expected a comparison operator, found %s"
+          (Lexer.token_to_string other)
+    in
+    Cmp (op, lhs, parse_expression st)
+
+(* --- statements -------------------------------------------------------- *)
+
+let rec parse_stmts st ~stop =
+  let rec loop acc =
+    let t = peek st in
+    match t.Lexer.token with
+    | Lexer.KW k when List.mem k stop -> List.rev acc
+    | Lexer.EOF -> fail_at t.line "unexpected end of input inside a block"
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_stmt st =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.KW "for" ->
+    advance st;
+    let index = expect_ident st in
+    expect st Lexer.ASSIGN;
+    let lo = parse_expression st in
+    expect st Lexer.COMMA;
+    let hi = parse_expression st in
+    let step =
+      if (peek st).Lexer.token = Lexer.COMMA then begin
+        advance st;
+        parse_expression st
+      end
+      else Int_lit 1
+    in
+    let body = parse_stmts st ~stop:[ "end"; "endfor" ] in
+    close_block st ~short:"endfor" ~long:"for";
+    For { index; lo; hi; step; body }
+  | Lexer.KW "if" ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = parse_cond st in
+    expect st Lexer.RPAREN;
+    let then_ = parse_stmts st ~stop:[ "else"; "end"; "endif" ] in
+    let else_ =
+      if (peek st).Lexer.token = Lexer.KW "else" then begin
+        advance st;
+        parse_stmts st ~stop:[ "end"; "endif" ]
+      end
+      else []
+    in
+    close_block st ~short:"endif" ~long:"if";
+    If (cond, then_, else_)
+  | Lexer.KW "read" ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let lv = parse_lvalue st in
+    expect st Lexer.RPAREN;
+    Read_input lv
+  | Lexer.KW "print" ->
+    advance st;
+    Print (parse_expression st)
+  | Lexer.IDENT _ ->
+    let lv = parse_lvalue st in
+    expect st Lexer.ASSIGN;
+    Assign (lv, parse_expression st)
+  | other ->
+    fail_at t.line "expected a statement, found %s" (Lexer.token_to_string other)
+
+and parse_lvalue st =
+  let name = expect_ident st in
+  if (peek st).Lexer.token = Lexer.LBRACKET then begin
+    advance st;
+    let idxs = parse_expr_list st Lexer.RBRACKET in
+    Lelement (name, idxs)
+  end
+  else Lscalar name
+
+and close_block st ~short ~long =
+  let t = next st in
+  match t.Lexer.token with
+  | Lexer.KW k when k = short -> ()
+  | Lexer.KW "end" -> (
+    match (peek st).Lexer.token with
+    | Lexer.KW k when k = long -> advance st
+    | Lexer.KW "if" when long = "if" -> advance st
+    | _ -> fail_at t.line "expected 'end %s'" long)
+  | other ->
+    fail_at t.line "expected 'end %s', found %s" long
+      (Lexer.token_to_string other)
+
+(* --- declarations and program ------------------------------------------ *)
+
+let parse_init st =
+  let t = next st in
+  match t.Lexer.token with
+  | Lexer.KW "zero" -> Init_zero
+  | Lexer.KW "linear" ->
+    expect st Lexer.LPAREN;
+    let a = expect_number st in
+    expect st Lexer.COMMA;
+    let b = expect_number st in
+    expect st Lexer.RPAREN;
+    Init_linear (a, b)
+  | Lexer.KW "hash" ->
+    expect st Lexer.LPAREN;
+    let seed = expect_int st in
+    expect st Lexer.RPAREN;
+    Init_hash seed
+  | other ->
+    fail_at t.line "expected an initialiser (zero | linear(a,b) | hash(s)), found %s"
+      (Lexer.token_to_string other)
+
+let parse_decl st dtype =
+  let var_name = expect_ident st in
+  let dims =
+    if (peek st).Lexer.token = Lexer.LBRACKET then begin
+      advance st;
+      let first = expect_int st in
+      let rec loop acc =
+        let t = next st in
+        match t.Lexer.token with
+        | Lexer.RBRACKET -> List.rev acc
+        | Lexer.COMMA -> loop (expect_int st :: acc)
+        | other ->
+          fail_at t.line "expected ',' or ']', found %s"
+            (Lexer.token_to_string other)
+      in
+      loop [ first ]
+    end
+    else []
+  in
+  let init =
+    if (peek st).Lexer.token = Lexer.ASSIGN then begin
+      advance st;
+      parse_init st
+    end
+    else if dims = [] then Init_zero
+    else Init_linear (1.0, 0.001)
+  in
+  { var_name; dtype; dims; init }
+
+let parse_program_tokens st =
+  expect st (Lexer.KW "program");
+  let prog_name = expect_ident st in
+  let decls = ref [] and live_out = ref [] in
+  let rec parse_header () =
+    match (peek st).Lexer.token with
+    | Lexer.KW "real" ->
+      advance st;
+      decls := parse_decl st F64 :: !decls;
+      parse_header ()
+    | Lexer.KW "integer" ->
+      advance st;
+      decls := parse_decl st I64 :: !decls;
+      parse_header ()
+    | Lexer.KW "live_out" ->
+      advance st;
+      let rec names acc =
+        let name = expect_ident st in
+        if (peek st).Lexer.token = Lexer.COMMA then begin
+          advance st;
+          names (name :: acc)
+        end
+        else List.rev (name :: acc)
+      in
+      live_out := !live_out @ names [];
+      parse_header ()
+    | _ -> ()
+  in
+  parse_header ();
+  let body = parse_stmts st ~stop:[ "end" ] in
+  expect st (Lexer.KW "end");
+  (match (peek st).Lexer.token with
+  | Lexer.EOF -> ()
+  | other ->
+    fail_at (peek st).Lexer.line "trailing input after 'end': %s"
+      (Lexer.token_to_string other));
+  { prog_name; decls = List.rev !decls; body; live_out = !live_out }
+
+let parse_program src =
+  match
+    let st = { tokens = Lexer.tokenize src } in
+    parse_program_tokens st
+  with
+  | program -> (
+    match Check.check program with
+    | Ok () -> Ok program
+    | Error es ->
+      let message =
+        es
+        |> List.map (fun e -> Format.asprintf "%a" Check.pp_error e)
+        |> String.concat "; "
+      in
+      Error { message; line = 0 })
+  | exception Error e -> Error e
+  | exception Lexer.Lex_error (message, line) -> Error { message; line }
+
+let parse_program_exn src =
+  match parse_program src with
+  | Ok p -> p
+  | Error e -> invalid_arg (Format.asprintf "%a" pp_parse_error e)
+
+let parse_expr src =
+  match
+    let st = { tokens = Lexer.tokenize src } in
+    let e = parse_expression st in
+    expect st Lexer.EOF;
+    e
+  with
+  | e -> Ok e
+  | exception Error e -> Error e
+  | exception Lexer.Lex_error (message, line) -> Error { message; line }

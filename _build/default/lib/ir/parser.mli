@@ -1,0 +1,33 @@
+(** Recursive-descent parser for the surface language.
+
+    {v
+    program axpy
+      real a[100] = linear(1.0, 0.5)
+      real b[100]
+      real s
+      live_out a, s
+      for i = 1, 100
+        a[i] = a[i] + 2.0 * b[i]
+      end for
+      print s
+    end
+    v}
+
+    Comparison inside conditions uses [==] (or a single [=], tolerated to
+    match the paper's pseudo-code), [<>], [<], [<=], [>], [>=].  [for]
+    loops take [lo, hi] or [lo, hi, step] and are closed by [end for] (or
+    [endfor]); [if (cond) ... else ... end if] likewise.  The parsed
+    program is checked with {!Check.check} before being returned. *)
+
+type parse_error = { message : string; line : int }
+
+val pp_parse_error : Format.formatter -> parse_error -> unit
+
+val parse_program : string -> (Ast.program, parse_error) result
+
+(** Parse and raise [Invalid_argument] on failure — for tests and inline
+    program literals. *)
+val parse_program_exn : string -> Ast.program
+
+(** Parse a standalone expression (used by the REPL-ish CLI). *)
+val parse_expr : string -> (Ast.expr, parse_error) result

@@ -1,0 +1,1 @@
+lib/machine/counters.ml: Format

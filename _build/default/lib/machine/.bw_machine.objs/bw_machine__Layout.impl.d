@@ -1,0 +1,1 @@
+lib/machine/layout.ml: Format Hashtbl List

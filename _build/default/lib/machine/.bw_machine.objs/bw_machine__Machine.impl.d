@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Cache Format List Printf Translate

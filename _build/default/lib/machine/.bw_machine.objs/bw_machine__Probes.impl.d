@@ -1,0 +1,1 @@
+lib/machine/probes.ml: Cache Counters Layout List Machine Timing Translate

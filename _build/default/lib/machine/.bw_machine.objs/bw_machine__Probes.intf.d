@@ -1,0 +1,1 @@
+lib/machine/probes.mli: Machine

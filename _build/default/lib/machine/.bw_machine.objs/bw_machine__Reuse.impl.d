@@ -1,0 +1,1 @@
+lib/machine/reuse.ml: Array Bytes Hashtbl List

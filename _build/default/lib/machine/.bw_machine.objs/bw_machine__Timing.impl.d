@@ -1,0 +1,1 @@
+lib/machine/timing.ml: Array Cache Counters Float Format List Machine Printf

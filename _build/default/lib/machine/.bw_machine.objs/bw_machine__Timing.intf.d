@@ -1,0 +1,1 @@
+lib/machine/timing.mli: Cache Counters Format Machine

@@ -1,0 +1,1 @@
+lib/machine/translate.ml: Hashtbl

@@ -1,0 +1,216 @@
+type geometry = { size_bytes : int; line_bytes : int; associativity : int }
+
+exception Bad_geometry of string
+
+type level_stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable read_misses : int;
+  mutable write_misses : int;
+  mutable writebacks : int;
+}
+
+type level = {
+  geometry : geometry;
+  n_sets : int;
+  (* way-major storage: slot = set * associativity + way *)
+  tags : int array;
+  valid : bool array;
+  dirty : bool array;
+  last_use : int array;
+  stats : level_stats;
+}
+
+type write_policy = Write_back | Write_through
+
+type t = {
+  levels : level array;
+  policy : write_policy;
+  mutable clock : int;
+  mutable mem_lines_in : int;
+  mutable mem_lines_out : int;
+  mem_line_bytes : int; (* line size used to charge memory traffic *)
+}
+
+let is_power_of_two x = x > 0 && x land (x - 1) = 0
+
+let fresh_stats () =
+  { reads = 0; writes = 0; read_misses = 0; write_misses = 0; writebacks = 0 }
+
+let make_level g =
+  if g.size_bytes <= 0 || g.line_bytes <= 0 || g.associativity <= 0 then
+    raise (Bad_geometry "non-positive cache parameter");
+  if not (is_power_of_two g.line_bytes) then
+    raise (Bad_geometry "line size must be a power of two");
+  if g.size_bytes mod (g.line_bytes * g.associativity) <> 0 then
+    raise (Bad_geometry "size not divisible by line * associativity");
+  let n_sets = g.size_bytes / (g.line_bytes * g.associativity) in
+  let slots = n_sets * g.associativity in
+  { geometry = g;
+    n_sets;
+    tags = Array.make slots 0;
+    valid = Array.make slots false;
+    dirty = Array.make slots false;
+    last_use = Array.make slots 0;
+    stats = fresh_stats () }
+
+let create ?(write_policy = Write_back) geometries =
+  let levels = Array.of_list (List.map make_level geometries) in
+  let mem_line_bytes =
+    match Array.length levels with
+    | 0 -> 8 (* uncached machine: charge memory per 8-byte word *)
+    | n -> levels.(n - 1).geometry.line_bytes
+  in
+  { levels; policy = write_policy; clock = 0; mem_lines_in = 0;
+    mem_lines_out = 0; mem_line_bytes }
+
+let level_count t = Array.length t.levels
+
+let geometry t i =
+  if i < 0 || i >= Array.length t.levels then invalid_arg "Cache.geometry";
+  t.levels.(i).geometry
+
+let stats t i =
+  if i < 0 || i >= Array.length t.levels then invalid_arg "Cache.stats";
+  t.levels.(i).stats
+
+(* Access one line at [line_addr] (in units of this level's line size) at
+   level [i]; recurses down on misses and write-backs. *)
+let rec access_line t i ~byte_addr ~is_write =
+  if i >= Array.length t.levels then begin
+    (* main memory *)
+    if is_write then t.mem_lines_out <- t.mem_lines_out + 1
+    else t.mem_lines_in <- t.mem_lines_in + 1
+  end
+  else begin
+    let level = t.levels.(i) in
+    let g = level.geometry in
+    let line_addr = byte_addr / g.line_bytes in
+    let set = line_addr mod level.n_sets in
+    let tag = line_addr / level.n_sets in
+    let s = level.stats in
+    if is_write then s.writes <- s.writes + 1 else s.reads <- s.reads + 1;
+    t.clock <- t.clock + 1;
+    let base = set * g.associativity in
+    (* look for a hit *)
+    let hit_way = ref (-1) in
+    for w = 0 to g.associativity - 1 do
+      let slot = base + w in
+      if level.valid.(slot) && level.tags.(slot) = tag then hit_way := w
+    done;
+    if !hit_way >= 0 then begin
+      let slot = base + !hit_way in
+      level.last_use.(slot) <- t.clock;
+      match t.policy with
+      | Write_back -> if is_write then level.dirty.(slot) <- true
+      | Write_through ->
+        (* hit updates the line; the store still goes down *)
+        if is_write then begin
+          s.writebacks <- s.writebacks + 1;
+          access_line t (i + 1) ~byte_addr ~is_write:true
+        end
+    end
+    else if t.policy = Write_through && is_write then begin
+      (* no-write-allocate: count the miss, forward the store *)
+      s.write_misses <- s.write_misses + 1;
+      s.writebacks <- s.writebacks + 1;
+      access_line t (i + 1) ~byte_addr ~is_write:true
+    end
+    else begin
+      if is_write then s.write_misses <- s.write_misses + 1
+      else s.read_misses <- s.read_misses + 1;
+      (* choose victim: invalid way if any, else LRU *)
+      let victim = ref (-1) in
+      for w = 0 to g.associativity - 1 do
+        if !victim < 0 && not level.valid.(base + w) then victim := w
+      done;
+      if !victim < 0 then begin
+        let best = ref 0 in
+        for w = 1 to g.associativity - 1 do
+          if level.last_use.(base + w) < level.last_use.(base + !best) then
+            best := w
+        done;
+        victim := !best
+      end;
+      let slot = base + !victim in
+      if level.valid.(slot) && level.dirty.(slot) then begin
+        s.writebacks <- s.writebacks + 1;
+        let victim_line = (level.tags.(slot) * level.n_sets) + set in
+        access_line t (i + 1) ~byte_addr:(victim_line * g.line_bytes)
+          ~is_write:true
+      end;
+      (* fetch the line from below (write-allocate on stores) *)
+      access_line t (i + 1) ~byte_addr ~is_write:false;
+      level.tags.(slot) <- tag;
+      level.valid.(slot) <- true;
+      level.dirty.(slot) <- is_write;
+      level.last_use.(slot) <- t.clock
+    end
+  end
+
+let top_line_bytes t =
+  if Array.length t.levels = 0 then 8
+  else t.levels.(0).geometry.line_bytes
+
+let iter_lines t ~addr ~bytes f =
+  if bytes <= 0 then invalid_arg "Cache: non-positive access size";
+  if addr < 0 then invalid_arg "Cache: negative address";
+  let line = top_line_bytes t in
+  let first = addr / line and last = (addr + bytes - 1) / line in
+  for l = first to last do
+    f (l * line)
+  done
+
+let read t ~addr ~bytes =
+  iter_lines t ~addr ~bytes (fun byte_addr ->
+      access_line t 0 ~byte_addr ~is_write:false)
+
+let write t ~addr ~bytes =
+  iter_lines t ~addr ~bytes (fun byte_addr ->
+      access_line t 0 ~byte_addr ~is_write:true)
+
+let memory_lines_in t = t.mem_lines_in
+let memory_lines_out t = t.mem_lines_out
+let memory_bytes_in t = t.mem_lines_in * t.mem_line_bytes
+let memory_bytes_out t = t.mem_lines_out * t.mem_line_bytes
+
+let boundary_bytes t i =
+  if i < 0 || i >= Array.length t.levels then invalid_arg "Cache.boundary_bytes";
+  let s = t.levels.(i).stats in
+  (s.read_misses + s.write_misses + s.writebacks)
+  * t.levels.(i).geometry.line_bytes
+
+let flush t =
+  (* Evict dirty lines top-down so L1 dirt propagates through L2. *)
+  Array.iteri
+    (fun i level ->
+      let g = level.geometry in
+      Array.iteri
+        (fun slot valid ->
+          if valid && level.dirty.(slot) then begin
+            let set = slot / g.associativity in
+            let line_addr = (level.tags.(slot) * level.n_sets) + set in
+            level.stats.writebacks <- level.stats.writebacks + 1;
+            level.dirty.(slot) <- false;
+            access_line t (i + 1) ~byte_addr:(line_addr * g.line_bytes)
+              ~is_write:true
+          end)
+        level.valid)
+    t.levels
+
+let clear t =
+  t.clock <- 0;
+  t.mem_lines_in <- 0;
+  t.mem_lines_out <- 0;
+  Array.iter
+    (fun level ->
+      Array.fill level.valid 0 (Array.length level.valid) false;
+      Array.fill level.dirty 0 (Array.length level.dirty) false;
+      Array.fill level.last_use 0 (Array.length level.last_use) 0;
+      let s = level.stats in
+      s.reads <- 0;
+      s.writes <- 0;
+      s.read_misses <- 0;
+      s.write_misses <- 0;
+      s.writebacks <- 0)
+    t.levels

@@ -1,0 +1,84 @@
+(** Trace-driven multi-level cache simulator.
+
+    Every level is set-associative with true-LRU replacement and a
+    write-back, write-allocate policy — the organisation of the MIPS R10K
+    and PA-8000 caches the paper measures.  A miss at level [i] fetches the
+    line from level [i+1]; evicting a dirty line writes it back to level
+    [i+1].  Misses and write-backs of the last level are charged to main
+    memory.
+
+    The simulator is exact, not sampled: the per-level hit/miss/write-back
+    counts are what the paper reads from hardware counters, so the program
+    balance computed from them is deterministic. *)
+
+type geometry = {
+  size_bytes : int;
+  line_bytes : int;  (** power of two *)
+  associativity : int;  (** ways per set; >= 1.  1 = direct-mapped *)
+}
+
+(** Raised by {!create} when a geometry is inconsistent (sizes not
+    divisible, non-power-of-two line, non-positive fields). *)
+exception Bad_geometry of string
+
+type level_stats = {
+  mutable reads : int;  (** read accesses arriving at this level *)
+  mutable writes : int;  (** write accesses arriving at this level *)
+  mutable read_misses : int;
+  mutable write_misses : int;
+  mutable writebacks : int;  (** dirty evictions passed to the next level *)
+}
+
+type t
+
+(** How stores are handled, uniformly across the hierarchy. *)
+type write_policy =
+  | Write_back  (** write-allocate, dirty lines written back on eviction
+                    (the default; what R10K and PA-8000 do) *)
+  | Write_through
+      (** no-write-allocate: stores update a present line and are always
+          forwarded to the next level; missing stores do not fetch *)
+
+(** [create geometries] builds a hierarchy; the first geometry is the
+    level closest to the CPU. The list may be empty (every access then
+    goes straight to memory). *)
+val create : ?write_policy:write_policy -> geometry list -> t
+
+val level_count : t -> int
+val geometry : t -> int -> geometry
+
+(** [read t ~addr ~bytes] simulates a CPU load of [bytes] bytes at [addr];
+    accesses spanning multiple lines touch each line once. *)
+val read : t -> addr:int -> bytes:int -> unit
+
+(** [write t ~addr ~bytes] simulates a CPU store (write-allocate:
+    a missing line is fetched before being dirtied). *)
+val write : t -> addr:int -> bytes:int -> unit
+
+(** Statistics of one level ([0] = closest to CPU).  Live view: the
+    record mutates as simulation proceeds. *)
+val stats : t -> int -> level_stats
+
+(** Lines fetched from main memory (last-level read+write misses). *)
+val memory_lines_in : t -> int
+
+(** Lines written back to main memory. *)
+val memory_lines_out : t -> int
+
+(** Bytes crossing the memory bus in each direction. *)
+val memory_bytes_in : t -> int
+
+val memory_bytes_out : t -> int
+
+(** [boundary_bytes t i] is the total traffic in bytes between level [i]
+    and the next level down (or memory for the last level):
+    [(read_misses + write_misses + writebacks) * line_bytes]. *)
+val boundary_bytes : t -> int -> int
+
+(** Write back every dirty line, charging the traffic to the levels
+    below.  Call at most once, at the end of a run, when modelling
+    programs whose results must reach memory. *)
+val flush : t -> unit
+
+(** Reset all stats and invalidate all lines. *)
+val clear : t -> unit

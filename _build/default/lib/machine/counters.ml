@@ -1,0 +1,26 @@
+type t = {
+  mutable flops : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable int_ops : int;
+}
+
+let create () = { flops = 0; loads = 0; stores = 0; int_ops = 0 }
+
+let clear t =
+  t.flops <- 0;
+  t.loads <- 0;
+  t.stores <- 0;
+  t.int_ops <- 0
+
+let add t other =
+  t.flops <- t.flops + other.flops;
+  t.loads <- t.loads + other.loads;
+  t.stores <- t.stores + other.stores;
+  t.int_ops <- t.int_ops + other.int_ops
+
+let register_bytes t = 8 * (t.loads + t.stores)
+
+let pp ppf t =
+  Format.fprintf ppf "flops=%d loads=%d stores=%d int_ops=%d" t.flops t.loads
+    t.stores t.int_ops

@@ -1,0 +1,19 @@
+(** CPU-side event counters: the software analogue of the hardware
+    counters the paper uses to measure program balance (flops, register
+    loads/stores). *)
+
+type t = {
+  mutable flops : int;  (** floating-point operations *)
+  mutable loads : int;  (** register loads from memory (array reads) *)
+  mutable stores : int;  (** register stores to memory (array writes) *)
+  mutable int_ops : int;  (** integer/address arithmetic, not flops *)
+}
+
+val create : unit -> t
+val clear : t -> unit
+val add : t -> t -> unit
+
+(** Bytes moved between registers and L1: 8 bytes per load/store. *)
+val register_bytes : t -> int
+
+val pp : Format.formatter -> t -> unit

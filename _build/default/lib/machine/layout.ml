@@ -1,0 +1,37 @@
+type t = { bases : (string, int) Hashtbl.t; mutable limit : int }
+
+let align_up a x = (x + a - 1) land lnot (a - 1)
+
+let assign ?(align_bytes = 8) ~stagger_bytes vars =
+  if stagger_bytes < 0 then invalid_arg "Layout.assign: negative stagger";
+  if align_bytes <= 0 || align_bytes land (align_bytes - 1) <> 0 then
+    invalid_arg "Layout.assign: alignment must be a positive power of two";
+  let t = { bases = Hashtbl.create 16; limit = 4096 } in
+  List.iter
+    (fun (name, bytes) ->
+      if bytes < 0 then invalid_arg "Layout.assign: negative size";
+      if Hashtbl.mem t.bases name then
+        invalid_arg ("Layout.assign: duplicate variable " ^ name);
+      let base = align_up (max 8 align_bytes) t.limit in
+      Hashtbl.add t.bases name base;
+      t.limit <- base + bytes + stagger_bytes)
+    vars;
+  t
+
+let base t name =
+  match Hashtbl.find_opt t.bases name with
+  | Some b -> b
+  | None -> raise Not_found
+
+let limit t = t.limit
+
+let pp ppf t =
+  let entries =
+    Hashtbl.fold (fun name base acc -> (base, name) :: acc) t.bases []
+    |> List.sort compare
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (base, name) -> Format.fprintf ppf "%#x  %s@," base name)
+    entries;
+  Format.fprintf ppf "@]"

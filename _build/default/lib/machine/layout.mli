@@ -1,0 +1,22 @@
+(** Virtual-address layout of program variables.
+
+    Arrays are placed one after another in declaration order, 8-byte
+    aligned, separated by the machine's stagger padding; scalars live in
+    their own region and are treated as register-resident (they generate
+    no cache traffic).  The base address is nonzero so that address 0
+    never aliases real data. *)
+
+type t
+
+(** [assign ~stagger_bytes vars] places [vars = (name, bytes)] in order.
+    [align_bytes] (default 8, must be a power of two) aligns each base. *)
+val assign : ?align_bytes:int -> stagger_bytes:int -> (string * int) list -> t
+
+(** Base virtual address of a variable.
+    @raise Not_found for unknown names. *)
+val base : t -> string -> int
+
+(** End of the highest allocation (exclusive). *)
+val limit : t -> int
+
+val pp : Format.formatter -> t -> unit

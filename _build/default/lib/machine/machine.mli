@@ -1,0 +1,64 @@
+(** Machine models: computation rate plus data bandwidth at every level of
+    the memory hierarchy, following the paper's definition of machine
+    balance (bytes of transfer available per peak flop).
+
+    Two calibrated configurations mirror the paper's testbeds:
+    {!origin2000} (SGI Origin2000, MIPS R10K: 4 bytes/flop register
+    bandwidth, 4 bytes/flop L1-L2, 0.8 bytes/flop memory — the Figure 1
+    bottom row) and {!exemplar} (HP/Convex Exemplar, PA-8000: one large
+    direct-mapped cache, whose conflict behaviour explains the 3w6r outlier
+    of Figure 3). *)
+
+type paging =
+  | Contiguous  (** arrays stay physically contiguous *)
+  | Random_pages of { page_bytes : int; seed : int }
+      (** each page lands on a pseudo-random physical page, as under a
+          real OS — the source of direct-mapped conflict misses *)
+
+type t = {
+  name : string;
+  flops_per_sec : float;  (** peak floating-point rate *)
+  register_bandwidth : float;  (** bytes/s between registers and L1 *)
+  caches : Cache.geometry list;  (** L1 first *)
+  cache_bandwidths : float list;
+      (** bytes/s between cache level [i] and level [i+1]; the last entry
+          is the memory bus bandwidth.  Length = [List.length caches]. *)
+  writeback_penalty : float;
+      (** relative cost of a write-back byte on the memory bus (>= 1);
+          models read/write turnaround on the §2.1 measurements *)
+  array_stagger_bytes : int;
+      (** padding inserted between consecutively allocated arrays, to
+          model allocator behaviour; 0 packs arrays back to back *)
+  array_align_bytes : int;
+      (** alignment of each array's base address; large-array allocators
+          return page-aligned blocks, which is what makes same-index
+          elements of different arrays collide in a physically indexed
+          cache *)
+  paging : paging;
+}
+
+(** A fresh translation function implementing [t.paging]. *)
+val fresh_translation : t -> Translate.t
+
+(** Names of the hierarchy boundaries, CPU-side first:
+    ["L1-Reg"; "L2-L1"; "Mem-L2"] for a two-level machine. *)
+val boundary_names : t -> string list
+
+(** Machine balance in bytes/flop for each boundary of {!boundary_names}. *)
+val balance : t -> float list
+
+(** Build a fresh cache hierarchy for this machine. *)
+val fresh_cache : t -> Cache.t
+
+val origin2000 : t
+val exemplar : t
+
+(** A machine with ample bandwidth everywhere — the "infinite bandwidth"
+    comparator used to quantify the bottleneck. *)
+val unconstrained : t
+
+(** [scaled ~name ~memory_factor m] multiplies only the memory-bus
+    bandwidth, for sensitivity studies. *)
+val scaled : name:string -> memory_factor:float -> t -> t
+
+val pp : Format.formatter -> t -> unit

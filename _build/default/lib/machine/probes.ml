@@ -1,0 +1,92 @@
+type stream_result = { copy : float; scale : float; add : float; triad : float }
+
+(* Run one kernel: per element, [reads] arrays are loaded and [writes]
+   arrays stored, plus [flops] floating-point operations.  Returns the
+   STREAM-style bandwidth: the benchmark's nominal bytes (it counts one
+   read + one write per participating array element, no write-allocate
+   traffic) divided by the model's predicted time. *)
+let run_kernel machine ~elements ~read_arrays ~write_arrays ~flops_per_elem =
+  let cache = Machine.fresh_cache machine in
+  let translation = Machine.fresh_translation machine in
+  let counters = Counters.create () in
+  let bytes = 8 in
+  let all_arrays = read_arrays @ write_arrays in
+  let layout =
+    Layout.assign ~align_bytes:machine.Machine.array_align_bytes
+      ~stagger_bytes:machine.Machine.array_stagger_bytes
+      (List.map (fun name -> (name, elements * bytes)) all_arrays)
+  in
+  for i = 0 to elements - 1 do
+    List.iter
+      (fun name ->
+        let addr = Translate.apply translation (Layout.base layout name + (i * bytes)) in
+        Cache.read cache ~addr ~bytes;
+        counters.Counters.loads <- counters.Counters.loads + 1)
+      read_arrays;
+    List.iter
+      (fun name ->
+        let addr = Translate.apply translation (Layout.base layout name + (i * bytes)) in
+        Cache.write cache ~addr ~bytes;
+        counters.Counters.stores <- counters.Counters.stores + 1)
+      write_arrays;
+    counters.Counters.flops <- counters.Counters.flops + flops_per_elem
+  done;
+  Cache.flush cache;
+  let b = Timing.predict machine cache counters in
+  let nominal_bytes =
+    float_of_int (List.length all_arrays * elements * bytes)
+  in
+  nominal_bytes /. b.Timing.total /. 1e6
+
+let stream ?(elements = 2_000_000) machine =
+  { copy =
+      run_kernel machine ~elements ~read_arrays:[ "a" ] ~write_arrays:[ "c" ]
+        ~flops_per_elem:0;
+    scale =
+      run_kernel machine ~elements ~read_arrays:[ "c" ] ~write_arrays:[ "b" ]
+        ~flops_per_elem:1;
+    add =
+      run_kernel machine ~elements ~read_arrays:[ "a"; "b" ]
+        ~write_arrays:[ "c" ] ~flops_per_elem:1;
+    triad =
+      run_kernel machine ~elements ~read_arrays:[ "b"; "c" ]
+        ~write_arrays:[ "a" ] ~flops_per_elem:2 }
+
+let cache_read_curve machine ~sizes =
+  List.map
+    (fun size ->
+      let elements = max 1 (size / 8) in
+      let sweeps = max 2 (1 + (4_000_000 / max 1 size)) in
+      let cache = Machine.fresh_cache machine in
+      let translation = Machine.fresh_translation machine in
+      let counters = Counters.create () in
+      let layout = Layout.assign ~stagger_bytes:0 [ ("a", elements * 8) ] in
+      let base = Layout.base layout "a" in
+      for _ = 1 to sweeps do
+        for i = 0 to elements - 1 do
+          let addr = Translate.apply translation (base + (i * 8)) in
+          Cache.read cache ~addr ~bytes:8;
+          counters.Counters.loads <- counters.Counters.loads + 1;
+          counters.Counters.flops <- counters.Counters.flops + 1
+        done
+      done;
+      let b = Timing.predict machine cache counters in
+      let bytes_touched = float_of_int (sweeps * elements * 8) in
+      (size, bytes_touched /. b.Timing.total /. 1e6))
+    sizes
+
+let sustained_memory_bandwidth machine =
+  let elements = 2_000_000 in
+  let cache = Machine.fresh_cache machine in
+  let translation = Machine.fresh_translation machine in
+  let counters = Counters.create () in
+  let layout = Layout.assign ~stagger_bytes:0 [ ("a", elements * 8) ] in
+  let base = Layout.base layout "a" in
+  for i = 0 to elements - 1 do
+    let addr = Translate.apply translation (base + (i * 8)) in
+    Cache.read cache ~addr ~bytes:8;
+    counters.Counters.loads <- counters.Counters.loads + 1;
+    counters.Counters.flops <- counters.Counters.flops + 1
+  done;
+  let b = Timing.predict machine cache counters in
+  float_of_int (Timing.memory_bytes cache) /. b.Timing.total

@@ -1,0 +1,26 @@
+(** Synthetic bandwidth probes, mirroring how the paper calibrates machine
+    balance: STREAM [McCalpin 95] for memory bandwidth and CacheBench
+    [Mucci & London 98] for cache bandwidth.  The probes drive the cache
+    simulator with the same access patterns the real benchmarks use, then
+    report the model's sustained bandwidth — used in tests to confirm each
+    machine model delivers its configured supply. *)
+
+type stream_result = {
+  copy : float;  (** c[i] = a[i],            MB/s *)
+  scale : float;  (** b[i] = s*c[i],         MB/s *)
+  add : float;  (** c[i] = a[i]+b[i],        MB/s *)
+  triad : float;  (** a[i] = b[i]+s*c[i],    MB/s *)
+}
+
+(** [stream machine ~elements] runs the four STREAM kernels over arrays of
+    [elements] doubles (default 2 million). *)
+val stream : ?elements:int -> Machine.t -> stream_result
+
+(** [cache_read_curve machine ~sizes] is CacheBench's read experiment:
+    repeatedly sweep a working set of each size and report sustained
+    read bandwidth in MB/s for each [(size_bytes, mb_per_s)]. *)
+val cache_read_curve : Machine.t -> sizes:int list -> (int * float) list
+
+(** Sustained memory bandwidth the model provides to a pure read stream —
+    used as "the machine's measured memory bandwidth" in experiments. *)
+val sustained_memory_bandwidth : Machine.t -> float

@@ -1,0 +1,148 @@
+(* Fenwick (binary indexed) tree over access timestamps: position [i]
+   holds 1 while timestamp [i] is the most recent access to its block.
+   The raw bit array is kept alongside so the tree can be rebuilt when it
+   grows. *)
+type t = {
+  granularity : int;
+  last_access : (int, int) Hashtbl.t; (* block -> timestamp *)
+  mutable bits : Bytes.t; (* bits.(t) = 1 if timestamp t is active *)
+  mutable fen : int array; (* 1-based Fenwick over bits *)
+  mutable time : int;
+  mutable cold : int;
+  mutable finite_counts : int array; (* log2-bucket histogram *)
+}
+
+let create ~granularity () =
+  if granularity <= 0 || granularity land (granularity - 1) <> 0 then
+    invalid_arg "Reuse.create: granularity must be a positive power of two";
+  { granularity;
+    last_access = Hashtbl.create 4096;
+    bits = Bytes.make 1024 '\000';
+    fen = Array.make 1025 0;
+    time = 0;
+    cold = 0;
+    finite_counts = Array.make 64 0 }
+
+let ensure_capacity t wanted =
+  let cap = Bytes.length t.bits in
+  if wanted >= cap then begin
+    let cap' = max (2 * cap) (wanted + 1) in
+    let bits' = Bytes.make cap' '\000' in
+    Bytes.blit t.bits 0 bits' 0 cap;
+    t.bits <- bits';
+    (* rebuild the Fenwick tree from the bit array *)
+    let fen' = Array.make (cap' + 1) 0 in
+    for i = 0 to cap - 1 do
+      if Bytes.get t.bits i = '\001' then begin
+        let rec add j =
+          if j <= cap' then begin
+            fen'.(j) <- fen'.(j) + 1;
+            add (j + (j land -j))
+          end
+        in
+        add (i + 1)
+      end
+    done;
+    t.fen <- fen'
+  end
+
+let fen_add t i delta =
+  let n = Array.length t.fen - 1 in
+  let rec go j =
+    if j <= n then begin
+      t.fen.(j) <- t.fen.(j) + delta;
+      go (j + (j land -j))
+    end
+  in
+  go (i + 1)
+
+(* count of active timestamps in [0, i] *)
+let fen_prefix t i =
+  let rec go j acc =
+    if j <= 0 then acc else go (j - (j land -j)) (acc + t.fen.(j))
+  in
+  go (i + 1) 0
+
+let bucket_of d =
+  if d = 0 then 0
+  else begin
+    let rec log2 x acc = if x <= 1 then acc else log2 (x lsr 1) (acc + 1) in
+    1 + log2 d 0
+  end
+
+let access t ~addr =
+  if addr < 0 then invalid_arg "Reuse.access: negative address";
+  let block = addr / t.granularity in
+  ensure_capacity t t.time;
+  (match Hashtbl.find_opt t.last_access block with
+  | None -> t.cold <- t.cold + 1
+  | Some t0 ->
+    (* distinct blocks touched strictly after t0 *)
+    let active_after = fen_prefix t (t.time - 1) - fen_prefix t t0 in
+    let b = bucket_of active_after in
+    if b >= Array.length t.finite_counts then begin
+      let counts' = Array.make (2 * b) 0 in
+      Array.blit t.finite_counts 0 counts' 0 (Array.length t.finite_counts);
+      t.finite_counts <- counts'
+    end;
+    t.finite_counts.(b) <- t.finite_counts.(b) + 1;
+    (* deactivate the previous access *)
+    Bytes.set t.bits t0 '\000';
+    fen_add t t0 (-1));
+  Bytes.set t.bits t.time '\001';
+  fen_add t t.time 1;
+  Hashtbl.replace t.last_access block t.time;
+  t.time <- t.time + 1
+
+let total t = t.time
+let cold t = t.cold
+let footprint_blocks t = Hashtbl.length t.last_access
+
+let bucket_lower b = if b = 0 then 0 else 1 lsl (b - 1)
+
+let histogram t =
+  Array.to_list t.finite_counts
+  |> List.mapi (fun b count -> (bucket_lower b, count))
+  |> List.filter (fun (_, c) -> c > 0)
+
+let misses t ~capacity_blocks =
+  if capacity_blocks <= 0 then t.time
+  else begin
+    (* finite distances >= capacity miss; bucket granularity makes this
+       exact only at power-of-two capacities, so count buckets whose
+       entire range is >= capacity and prorate the straddling bucket
+       assuming a uniform distribution inside it. *)
+    let hits_and_misses =
+      Array.to_list t.finite_counts
+      |> List.mapi (fun b count -> (b, count))
+      |> List.fold_left
+           (fun acc (b, count) ->
+             if count = 0 then acc
+             else begin
+               let lo = bucket_lower b in
+               let hi = if b = 0 then 1 else 2 * lo in
+               if lo >= capacity_blocks then acc + count
+               else if hi <= capacity_blocks then acc
+               else begin
+                 (* straddling bucket *)
+                 let frac =
+                   float_of_int (hi - capacity_blocks)
+                   /. float_of_int (hi - lo)
+                 in
+                 acc + int_of_float (frac *. float_of_int count)
+               end
+             end)
+           0
+    in
+    hits_and_misses + t.cold
+  end
+
+let miss_ratio t ~capacity_blocks =
+  if t.time = 0 then 0.0
+  else float_of_int (misses t ~capacity_blocks) /. float_of_int t.time
+
+let curve t ~sizes =
+  List.map
+    (fun size ->
+      (size, miss_ratio t ~capacity_blocks:(max 1 (size / t.granularity))))
+    sizes

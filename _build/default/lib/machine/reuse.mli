@@ -1,0 +1,49 @@
+(** Reuse-distance (LRU stack distance) analysis.
+
+    The reuse distance of an access is the number of {e distinct} blocks
+    touched since the previous access to the same block.  Its histogram
+    characterises a program's locality independently of any particular
+    cache: a fully associative LRU cache of [C] blocks misses exactly the
+    accesses whose reuse distance is [>= C] (plus cold misses), so one
+    profiling pass predicts the miss ratio of {e every} cache size — the
+    measurement technology Ding's later work builds on the foundations
+    laid in this paper.
+
+    The implementation is the classical one-pass algorithm: a hash table
+    of last-access times plus a Fenwick tree counting the still-active
+    ones, O(log n) per access. *)
+
+type t
+
+(** [create ~granularity ()] tracks blocks of [granularity] bytes
+    (typically the cache line size; must be a positive power of two). *)
+val create : granularity:int -> unit -> t
+
+(** Record an access to the block containing [addr]. *)
+val access : t -> addr:int -> unit
+
+(** Number of accesses recorded. *)
+val total : t -> int
+
+(** First-touch accesses (infinite reuse distance). *)
+val cold : t -> int
+
+(** Number of distinct blocks touched. *)
+val footprint_blocks : t -> int
+
+(** [misses t ~capacity_blocks] is the number of accesses a fully
+    associative LRU cache with that many blocks would miss. *)
+val misses : t -> capacity_blocks:int -> int
+
+(** [miss_ratio t ~capacity_blocks] = misses / total (0 if no accesses). *)
+val miss_ratio : t -> capacity_blocks:int -> float
+
+(** Histogram in power-of-two buckets: [(lower_bound, count)] with the
+    count of finite reuse distances [d] satisfying
+    [lower_bound <= d < 2 * max 1 lower_bound]; plus {!cold} infinite
+    ones.  Buckets with zero count are omitted. *)
+val histogram : t -> (int * int) list
+
+(** Miss-ratio curve over cache sizes in bytes (each converted to
+    [size / granularity] blocks): [(size_bytes, miss_ratio)]. *)
+val curve : t -> sizes:int list -> (int * float) list

@@ -1,0 +1,79 @@
+type breakdown = {
+  cpu_time : float;
+  register_time : float;
+  boundary_times : (string * float) list;
+  total : float;
+  binding_resource : string;
+}
+
+let memory_bytes cache =
+  Cache.memory_bytes_in cache + Cache.memory_bytes_out cache
+
+let predict (machine : Machine.t) cache counters =
+  let cpu_time = float_of_int counters.Counters.flops /. machine.flops_per_sec in
+  let register_time =
+    float_of_int (Counters.register_bytes counters)
+    /. machine.register_bandwidth
+  in
+  let n_levels = Cache.level_count cache in
+  let boundary_name i =
+    if i = n_levels - 1 then Printf.sprintf "Mem-L%d" (i + 1)
+    else Printf.sprintf "L%d-L%d" (i + 2) (i + 1)
+  in
+  let bandwidths = Array.of_list machine.cache_bandwidths in
+  if Array.length bandwidths <> n_levels then
+    invalid_arg "Timing.predict: machine bandwidths do not match cache levels";
+  let boundary_times =
+    List.init n_levels (fun i ->
+        let bytes =
+          if i = n_levels - 1 then
+            float_of_int (Cache.memory_bytes_in cache)
+            +. (machine.writeback_penalty
+               *. float_of_int (Cache.memory_bytes_out cache))
+          else float_of_int (Cache.boundary_bytes cache i)
+        in
+        (boundary_name i, bytes /. bandwidths.(i)))
+  in
+  let all =
+    ("CPU", cpu_time) :: ("L1-Reg", register_time) :: boundary_times
+  in
+  let binding_resource, total =
+    List.fold_left
+      (fun (bn, bt) (n, t) -> if t > bt then (n, t) else (bn, bt))
+      ("CPU", cpu_time) all
+  in
+  { cpu_time; register_time; boundary_times; total; binding_resource }
+
+let effective_bandwidth machine cache counters =
+  let b = predict machine cache counters in
+  if b.total <= 0.0 then 0.0 else float_of_int (memory_bytes cache) /. b.total
+
+let memory_utilisation machine cache counters =
+  let bw = effective_bandwidth machine cache counters in
+  let mem_bw =
+    match List.rev machine.cache_bandwidths with
+    | last :: _ -> last
+    | [] -> machine.register_bandwidth
+  in
+  Float.min 1.0 (bw /. mem_bw)
+
+let pp_breakdown ppf b =
+  Format.fprintf ppf "@[<v>CPU      %8.4f ms@,L1-Reg   %8.4f ms@,"
+    (b.cpu_time *. 1e3)
+    (b.register_time *. 1e3);
+  List.iter
+    (fun (name, t) -> Format.fprintf ppf "%-8s %8.4f ms@," name (t *. 1e3))
+    b.boundary_times;
+  Format.fprintf ppf "total    %8.4f ms (bound by %s)@]" (b.total *. 1e3)
+    b.binding_resource
+
+let predict_with_latency machine cache counters ~miss_latency ~overlap =
+  if overlap < 0.0 || overlap > 1.0 then
+    invalid_arg "Timing.predict_with_latency: overlap must be in [0,1]";
+  let b = predict machine cache counters in
+  let exposed =
+    (1.0 -. overlap)
+    *. float_of_int (Cache.memory_lines_in cache)
+    *. miss_latency
+  in
+  b.total +. exposed

@@ -1,0 +1,56 @@
+type kind =
+  | Identity
+  | Hashed of {
+      page_bytes : int;
+      seed : int;
+      table : (int, int) Hashtbl.t;
+      used : (int, unit) Hashtbl.t;
+    }
+
+type t = kind ref
+
+let identity = ref Identity
+
+let hashed ~page_bytes ~seed =
+  if page_bytes <= 0 || page_bytes land (page_bytes - 1) <> 0 then
+    invalid_arg "Translate.hashed: page size must be a positive power of two";
+  ref
+    (Hashed
+       { page_bytes; seed; table = Hashtbl.create 4096; used = Hashtbl.create 4096 })
+
+(* SplitMix-style mixer; cheap and well distributed within 63-bit ints. *)
+let mix seed x =
+  let z = ref (x + (seed * 0x9e3779b9) + 0x7f4a7c15) in
+  z := (!z lxor (!z lsr 30)) * 0x1ce4e5b9bf58476d;
+  z := (!z lxor (!z lsr 27)) * 0x133111eb94d049bb;
+  (!z lxor (!z lsr 31)) land max_int
+
+let apply t addr =
+  match !t with
+  | Identity -> addr
+  | Hashed { page_bytes; seed; table; used } ->
+    let vpage = addr / page_bytes in
+    let offset = addr mod page_bytes in
+    let ppage =
+      match Hashtbl.find_opt table vpage with
+      | Some p -> p
+      | None ->
+        (* Draw pseudo-random pages until an unused one appears; the
+           physical space is 2^40 pages, so retries are negligible. *)
+        let rec draw salt =
+          let candidate = mix seed (vpage + (salt * 1_000_003)) land ((1 lsl 40) - 1) in
+          if Hashtbl.mem used candidate then draw (salt + 1) else candidate
+        in
+        let p = draw 0 in
+        Hashtbl.add table vpage p;
+        Hashtbl.add used p ();
+        p
+    in
+    (ppage * page_bytes) + offset
+
+let reset t =
+  match !t with
+  | Identity -> ()
+  | Hashed { table; used; _ } ->
+    Hashtbl.reset table;
+    Hashtbl.reset used

@@ -1,0 +1,23 @@
+(** Virtual-to-physical address translation models.
+
+    Cache indexing on real machines uses physical addresses, so the
+    OS page allocator determines which large-array offsets collide in a
+    physically-indexed cache.  [Identity] models a machine whose big
+    arrays stay contiguous in physical memory; [hashed] models the
+    effectively random page placement of a real OS, which is what makes
+    many-array kernels suffer conflict misses on a direct-mapped cache
+    (the paper's 3w6r outlier on the Exemplar, Figure 3). *)
+
+type t
+
+val identity : t
+
+(** [hashed ~page_bytes ~seed] maps each virtual page, on first touch, to
+    a distinct pseudo-random physical page.  Deterministic in [seed];
+    injective, so no false aliasing. *)
+val hashed : page_bytes:int -> seed:int -> t
+
+val apply : t -> int -> int
+
+(** Forget all established mappings (hashed only). *)
+val reset : t -> unit

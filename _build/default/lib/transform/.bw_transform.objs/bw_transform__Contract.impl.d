@@ -1,0 +1,1 @@
+lib/transform/contract.ml: Bw_analysis Bw_ir List

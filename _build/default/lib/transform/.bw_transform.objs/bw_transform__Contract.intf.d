@@ -1,0 +1,1 @@
+lib/transform/contract.mli: Bw_ir

@@ -1,0 +1,1 @@
+lib/transform/distribute.ml: Array Bw_analysis Bw_graph Bw_ir List Result

@@ -1,0 +1,1 @@
+lib/transform/distribute.mli: Bw_ir

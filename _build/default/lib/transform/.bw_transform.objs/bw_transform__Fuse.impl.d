@@ -1,0 +1,1 @@
+lib/transform/fuse.ml: Array Bw_analysis Bw_ir List Result Toplevel

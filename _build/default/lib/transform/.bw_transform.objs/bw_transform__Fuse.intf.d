@@ -1,0 +1,1 @@
+lib/transform/fuse.mli: Bw_ir

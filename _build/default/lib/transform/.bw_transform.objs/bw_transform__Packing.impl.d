@@ -1,0 +1,1 @@
+lib/transform/packing.ml: Bw_analysis Bw_ir List Option Printf Result

@@ -1,0 +1,1 @@
+lib/transform/packing.mli: Bw_ir

@@ -1,0 +1,1 @@
+lib/transform/regroup.ml: Bw_analysis Bw_ir List

@@ -1,0 +1,1 @@
+lib/transform/regroup.mli: Bw_ir

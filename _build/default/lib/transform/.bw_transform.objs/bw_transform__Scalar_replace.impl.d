@@ -1,0 +1,1 @@
+lib/transform/scalar_replace.ml: Bw_ir List

@@ -1,0 +1,1 @@
+lib/transform/scalar_replace.mli: Bw_ir

@@ -1,0 +1,1 @@
+lib/transform/shrink.ml: Bw_analysis Bw_ir Format List Option Printf Result Simplify String

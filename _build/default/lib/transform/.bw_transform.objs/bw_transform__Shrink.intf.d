@@ -1,0 +1,1 @@
+lib/transform/shrink.mli: Bw_ir Format

@@ -1,0 +1,1 @@
+lib/transform/simplify.ml: Bw_ir Float List

@@ -1,0 +1,1 @@
+lib/transform/simplify.mli: Bw_ir

@@ -1,0 +1,1 @@
+lib/transform/store_elim.ml: Bw_analysis Bw_ir List Scalar_replace

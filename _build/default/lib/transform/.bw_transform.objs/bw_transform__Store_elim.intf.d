@@ -1,0 +1,1 @@
+lib/transform/store_elim.mli: Bw_ir

@@ -1,0 +1,1 @@
+lib/transform/strategy.ml: Bw_ir Contract Format Fuse List Scalar_replace Shrink Store_elim String

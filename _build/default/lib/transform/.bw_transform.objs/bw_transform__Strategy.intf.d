@@ -1,0 +1,1 @@
+lib/transform/strategy.mli: Bw_ir Format Shrink

@@ -1,0 +1,1 @@
+lib/transform/tile.ml: Bw_analysis Bw_ir List Printf

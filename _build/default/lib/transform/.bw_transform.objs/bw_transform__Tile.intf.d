@@ -1,0 +1,1 @@
+lib/transform/tile.mli: Bw_ir

@@ -1,0 +1,1 @@
+lib/transform/toplevel.ml: Array Bw_graph Bw_ir Hashtbl List

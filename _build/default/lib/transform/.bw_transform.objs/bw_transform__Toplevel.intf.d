@@ -1,0 +1,1 @@
+lib/transform/toplevel.mli: Bw_graph Bw_ir

@@ -1,0 +1,16 @@
+(** Array contraction: replace an array by a single scalar (the
+    Sarkar-Gao transformation the paper generalises).
+
+    An array is contractable when its entire live range sits inside one
+    top-level loop nest, every reference uses the same subscripts per
+    iteration, and each iteration writes the element before reading it —
+    so no value crosses iterations and one register cell suffices.  This
+    is the [b -> b1] rewrite of Figure 6(c). *)
+
+(** [contractable p] lists the arrays the analysis can contract. *)
+val contractable : Bw_ir.Ast.program -> string list
+
+(** [contract_arrays p] rewrites every contractable array into a fresh
+    scalar, removing the array declarations.  Returns the program and the
+    contracted array names. *)
+val contract_arrays : Bw_ir.Ast.program -> Bw_ir.Ast.program * string list

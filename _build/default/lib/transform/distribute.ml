@@ -1,0 +1,118 @@
+open Bw_ir.Ast
+
+(* Dependence edges between two body statements [u] (earlier) and [v]
+   (later) of a loop over [index]:
+   - u -> v when some iteration of u must precede some iteration of v;
+   - v -> u when a value flows backwards across iterations (v at
+     iteration i feeds u at iteration > i).
+   Using the pair test: for refs (ru in u, rv in v) with a write,
+   delta = iter(rv) - iter(ru) for conflicting elements:
+   delta >= 0 (or unknown)  => u -> v;
+   delta <= 0 (or unknown)  => v -> u. *)
+let array_edges ~index u_stmt v_stmt =
+  let refs_u = Bw_analysis.Refs.collect [ u_stmt ] in
+  let refs_v = Bw_analysis.Refs.collect [ v_stmt ] in
+  let forward = ref false and backward = ref false in
+  List.iter
+    (fun (ru : Bw_analysis.Refs.t) ->
+      List.iter
+        (fun (rv : Bw_analysis.Refs.t) ->
+          if
+            ru.Bw_analysis.Refs.array = rv.Bw_analysis.Refs.array
+            && not
+                 (ru.Bw_analysis.Refs.access = Bw_analysis.Refs.Read
+                 && rv.Bw_analysis.Refs.access = Bw_analysis.Refs.Read)
+          then begin
+            match Bw_analysis.Depend.pair_test ~index ru rv with
+            | Bw_analysis.Depend.Independent -> ()
+            | Bw_analysis.Depend.Dependent (Some d) ->
+              if d >= 0 then forward := true;
+              if d < 0 then backward := true
+            | Bw_analysis.Depend.Dependent None | Bw_analysis.Depend.Unknown
+              ->
+              forward := true;
+              backward := true
+          end)
+        refs_v)
+    refs_u;
+  (!forward, !backward)
+
+let scalar_conflict body u_stmt v_stmt =
+  (* a scalar written by either and touched by both ties the statements
+     together unless it is private over the whole body *)
+  let vars stmt =
+    (Bw_ir.Ast_util.vars_read [ stmt ], Bw_ir.Ast_util.vars_written [ stmt ])
+  in
+  let indices = Bw_ir.Ast_util.loop_indices body in
+  let arrays =
+    Bw_analysis.Refs.collect body
+    |> List.map (fun (r : Bw_analysis.Refs.t) -> r.Bw_analysis.Refs.array)
+  in
+  let is_scalar x = (not (List.mem x arrays)) && not (List.mem x indices) in
+  let ru, wu = vars u_stmt and rv, wv = vars v_stmt in
+  let touched x l1 l2 = List.mem x l1 || List.mem x l2 in
+  List.exists
+    (fun x ->
+      is_scalar x
+      && touched x ru wu && touched x rv wv
+      && (List.mem x wu || List.mem x wv)
+      && not (Bw_analysis.Depend.scalar_private body x))
+    (List.sort_uniq compare (ru @ wu @ rv @ wv))
+
+let distribute (l : loop) =
+  let stmts = Array.of_list l.body in
+  let n = Array.length stmts in
+  if n <= 1 then Ok [ l ]
+  else begin
+    let g = Bw_graph.Digraph.create ~size_hint:n () in
+    Bw_graph.Digraph.ensure_nodes g n;
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        let fwd, bwd = array_edges ~index:l.index stmts.(u) stmts.(v) in
+        let glue = scalar_conflict l.body stmts.(u) stmts.(v) in
+        if fwd || glue then Bw_graph.Digraph.add_edge g u v;
+        if bwd || glue then Bw_graph.Digraph.add_edge g v u
+      done
+    done;
+    (* SCCs arrive in reverse topological order of the condensation *)
+    let components = List.rev (Bw_graph.Topo.scc g) in
+    let loops =
+      List.map
+        (fun comp ->
+          let members = List.sort compare comp in
+          { l with body = List.map (fun i -> stmts.(i)) members })
+        components
+    in
+    Ok loops
+  end
+
+let distribute_at (p : program) pos =
+  match List.nth_opt p.body pos with
+  | Some (For l) ->
+    Result.map
+      (fun loops ->
+        let body =
+          List.concat
+            (List.mapi
+               (fun i s ->
+                 if i = pos then List.map (fun l' -> For l') loops else [ s ])
+               p.body)
+        in
+        { p with body })
+      (distribute l)
+  | Some _ -> Error "distribute_at: not a loop"
+  | None -> Error "distribute_at: position out of range"
+
+let distribute_all (p : program) =
+  (* repeatedly distribute until no top-level loop splits further *)
+  let rec go p pos =
+    if pos >= List.length p.body then p
+    else
+      match List.nth p.body pos with
+      | For _ -> (
+        match distribute_at p pos with
+        | Ok p' when List.length p'.body > List.length p.body -> go p' pos
+        | _ -> go p (pos + 1))
+      | _ -> go p (pos + 1)
+  in
+  go p 0

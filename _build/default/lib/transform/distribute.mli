@@ -1,0 +1,24 @@
+(** Loop distribution (fission) — fusion's dual.
+
+    The body's statements are partitioned into the strongly connected
+    components of their dependence graph (statements tied by a cycle of
+    loop-carried dependences must stay together); each component becomes
+    its own loop, emitted in topological order.  Distribution is how a
+    compiler canonicalises loops into minimal pieces before re-fusing
+    them under the bandwidth-minimal objective — running
+    [distribute_all] then {!Bw_fusion.Bandwidth_minimal.fuse_program}
+    re-derives the best grouping regardless of how the source was
+    written. *)
+
+(** [distribute l] splits one loop; returns the replacement loops in
+    execution order (a single element when the body is one big cycle).
+    Conservative: scalars written in the body must be private
+    (write-before-read) or they glue their statements together. *)
+val distribute : Bw_ir.Ast.loop -> (Bw_ir.Ast.loop list, string) result
+
+(** [distribute_at p pos] replaces the loop at top-level position [pos]. *)
+val distribute_at :
+  Bw_ir.Ast.program -> int -> (Bw_ir.Ast.program, string) result
+
+(** Distribute every top-level loop as far as it will go. *)
+val distribute_all : Bw_ir.Ast.program -> Bw_ir.Ast.program

@@ -1,0 +1,29 @@
+(** Loop fusion: the rewriting side.
+
+    [fuse_adjacent] merges two loops that {!Bw_analysis.Depend.fusable}
+    accepts.  Conformable loops concatenate their bodies under one header;
+    constant-bound loops with mismatched ranges fuse over the convex hull
+    of their iteration spaces, with each body guarded by its own range
+    test — the form the paper's Figure 6(b) takes. *)
+
+(** [fuse_adjacent l1 l2] is the fused loop, running over [l1]'s index. *)
+val fuse_adjacent :
+  Bw_ir.Ast.loop -> Bw_ir.Ast.loop -> (Bw_ir.Ast.loop, string) result
+
+(** [fuse_at p position] fuses the top-level statements at [position] and
+    [position + 1] (both must be loops). *)
+val fuse_at : Bw_ir.Ast.program -> int -> (Bw_ir.Ast.program, string) result
+
+(** [apply_plan p partitions] reorders the top-level statements into the
+    given partition sequence (each partition lists original positions, and
+    is kept in ascending original order) and fuses each multi-statement
+    partition into a single loop.  Every position must appear exactly
+    once; the implied order must respect top-level dependences; partitions
+    of size > 1 must contain only loops that fuse pairwise. *)
+val apply_plan :
+  Bw_ir.Ast.program -> int list list -> (Bw_ir.Ast.program, string) result
+
+(** Greedy fusion sweep: repeatedly fuse the first fusable adjacent pair
+    of top-level loops until none remains.  A baseline used by the
+    ablation benchmarks. *)
+val greedy : Bw_ir.Ast.program -> Bw_ir.Ast.program

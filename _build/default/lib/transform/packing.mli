@@ -1,0 +1,37 @@
+(** Run-time locality optimisation for irregular applications (the
+    dynamic-application arm of the paper's strategy, Section 4):
+
+    - {b data packing}: renumber the particles in first-touch order of
+      the interaction list and copy the data arrays into that order, so
+      neighbouring interactions touch neighbouring memory;
+    - {b locality grouping}: counting-sort the interaction list by one
+      of its index arrays, so consecutive iterations revisit the same
+      particle's cache lines.
+
+    Both are expressed as IR-to-IR rewrites that emit the run-time
+    prologue code (permutation construction, copies, counting sort) into
+    the program itself, so the cost of the reorganisation is simulated
+    along with its benefit.
+
+    Packing preserves observable behaviour exactly (live-out arrays are
+    unpacked at the end).  Grouping reorders floating-point accumulation
+    and is exact only up to rounding — verify with
+    {!Bw_exec.Interp.close_observation}. *)
+
+type spec = {
+  index_arrays : string list;
+      (** parallel 1-D integer arrays holding particle numbers *)
+  data_arrays : string list;
+      (** 1-D arrays subscripted only through the index arrays *)
+}
+
+(** [pack p spec] renumbers and copies.  Fails when a data array is
+    accessed directly (not through an index array) after the insertion
+    point, when shapes disagree, or when an index array is rewritten
+    after the interaction lists are final. *)
+val pack : Bw_ir.Ast.program -> spec -> (Bw_ir.Ast.program, string) result
+
+(** [group p spec ~by] counting-sorts the interaction list by the index
+    array [by] (which must belong to [spec.index_arrays]). *)
+val group :
+  Bw_ir.Ast.program -> spec -> by:string -> (Bw_ir.Ast.program, string) result

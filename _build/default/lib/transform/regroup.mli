@@ -1,0 +1,23 @@
+(** Inter-array data regrouping — the spatial-locality companion the
+    paper's related-work section attributes to Ding's dissertation:
+    arrays that are always accessed together at the same subscripts
+    (like an FFT's real/imaginary halves) are interleaved into a single
+    array with one extra leading dimension, so each cache line delivers
+    both operands of a butterfly instead of one.
+
+    Regrouping is a pure layout change: the rewritten program is
+    observationally identical (modulo the grouped arrays no longer being
+    individually addressable, so live-out arrays are never grouped). *)
+
+(** Pairs worth grouping: same shape and type, not live-out, and
+    co-accessed — every statement that touches one touches the other at
+    identical subscripts. *)
+val candidates : Bw_ir.Ast.program -> (string * string) list
+
+(** [regroup_pair p a b] interleaves [a] and [b] into a fresh array with
+    a leading dimension of extent 2. *)
+val regroup_pair :
+  Bw_ir.Ast.program -> string -> string -> (Bw_ir.Ast.program, string) result
+
+(** Group every candidate pair greedily; returns the grouped pairs. *)
+val regroup_all : Bw_ir.Ast.program -> Bw_ir.Ast.program * (string * string) list

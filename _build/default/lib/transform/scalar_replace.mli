@@ -1,0 +1,14 @@
+(** Scalar replacement (value forwarding): after a store [a[idx] = e],
+    later reads of the syntactically identical element in the same
+    iteration are replaced by a fresh scalar temporary holding [e].
+
+    This finishes the remaining uses of a stored value in registers, which
+    is the enabling step for store elimination (Figure 7): once no read
+    consumes the stored value, the store itself is dead. *)
+
+(** [forward_stores p] returns the rewritten program and the number of
+    store sites that had reads forwarded.  The scan is conservative: it
+    follows straight-line code and descends into [If] branches, but stops
+    at nested loops, at any other write to the same array, and at writes
+    to variables appearing in the subscripts. *)
+val forward_stores : Bw_ir.Ast.program -> Bw_ir.Ast.program * int

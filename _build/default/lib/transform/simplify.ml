@@ -1,0 +1,107 @@
+open Bw_ir.Ast
+
+let rec fold_expr e =
+  match e with
+  | Int_lit _ | Float_lit _ | Scalar _ -> e
+  | Element (a, idxs) -> Element (a, List.map fold_expr idxs)
+  | Unary (op, x) -> (
+    let x = fold_expr x in
+    match (op, x) with
+    | Neg, Int_lit n -> Int_lit (-n)
+    | Neg, Float_lit f -> Float_lit (-.f)
+    | Abs, Int_lit n -> Int_lit (abs n)
+    | Abs, Float_lit f -> Float_lit (Float.abs f)
+    | Int_to_float, Int_lit n -> Float_lit (float_of_int n)
+    | (Neg | Abs | Sqrt | Int_to_float), _ -> Unary (op, x))
+  | Binary (op, a, b) -> (
+    let a = fold_expr a and b = fold_expr b in
+    match (op, a, b) with
+    | Add, Int_lit x, Int_lit y -> Int_lit (x + y)
+    | Sub, Int_lit x, Int_lit y -> Int_lit (x - y)
+    | Mul, Int_lit x, Int_lit y -> Int_lit (x * y)
+    | Div, Int_lit x, Int_lit y when y <> 0 -> Int_lit (x / y)
+    | Mod, Int_lit x, Int_lit y when y <> 0 -> Int_lit (x mod y)
+    | Min, Int_lit x, Int_lit y -> Int_lit (min x y)
+    | Max, Int_lit x, Int_lit y -> Int_lit (max x y)
+    | Add, x, Int_lit 0 | Add, Int_lit 0, x -> x
+    | Sub, x, Int_lit 0 -> x
+    | Mul, x, Int_lit 1 | Mul, Int_lit 1, x -> x
+    | _ -> Binary (op, a, b))
+  | Call (f, args) -> Call (f, List.map fold_expr args)
+
+let compare_lits op c =
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let rec fold_cond c =
+  match c with
+  | Cmp (op, a, b) -> (
+    let a = fold_expr a and b = fold_expr b in
+    match (a, b) with
+    | Int_lit x, Int_lit y ->
+      if compare_lits op (compare x y) then `True else `False
+    | Float_lit x, Float_lit y ->
+      if compare_lits op (compare x y) then `True else `False
+    | _ -> `Cond (Cmp (op, a, b)))
+  | And (a, b) -> (
+    match (fold_cond a, fold_cond b) with
+    | `False, _ | _, `False -> `False
+    | `True, other | other, `True -> other
+    | `Cond a, `Cond b -> `Cond (And (a, b)))
+  | Or (a, b) -> (
+    match (fold_cond a, fold_cond b) with
+    | `True, _ | _, `True -> `True
+    | `False, other | other, `False -> other
+    | `Cond a, `Cond b -> `Cond (Or (a, b)))
+  | Not a -> (
+    match fold_cond a with
+    | `True -> `False
+    | `False -> `True
+    | `Cond a -> `Cond (Not a))
+
+let fold_lvalue = function
+  | Lscalar s -> Lscalar s
+  | Lelement (a, idxs) -> Lelement (a, List.map fold_expr idxs)
+
+let rec simplify_stmts stmts =
+  List.concat_map
+    (fun stmt ->
+      match stmt with
+      | Assign (lv, e) -> [ Assign (fold_lvalue lv, fold_expr e) ]
+      | Read_input lv -> [ Read_input (fold_lvalue lv) ]
+      | Print e -> [ Print (fold_expr e) ]
+      | If (c, t, e) -> (
+        let t = simplify_stmts t and e = simplify_stmts e in
+        match fold_cond c with
+        | `True -> t
+        | `False -> e
+        | `Cond c -> if t = [] && e = [] then [] else [ If (c, t, e) ])
+      | For l -> (
+        let l =
+          { l with
+            lo = fold_expr l.lo;
+            hi = fold_expr l.hi;
+            step = fold_expr l.step;
+            body = simplify_stmts l.body }
+        in
+        match (l.lo, l.hi, l.step) with
+        | Int_lit lo, Int_lit hi, Int_lit _ when lo > hi -> []
+        | Int_lit lo, Int_lit hi, Int_lit step when lo = hi || lo + step > hi
+          ->
+          (* single iteration: inline with the index substituted *)
+          simplify_stmts
+            (List.map
+               (fun s ->
+                 List.hd
+                   (Bw_ir.Ast_util.subst_scalar_stmts ~name:l.index
+                      ~value:(Int_lit lo) [ s ]))
+               l.body)
+        | _ -> [ For l ]))
+    stmts
+
+let simplify_program (p : program) = { p with body = simplify_stmts p.body }

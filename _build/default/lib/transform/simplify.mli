@@ -1,0 +1,16 @@
+(** Constant folding and control simplification.  Used to clean up the
+    residue of iteration peeling and tiling: guards whose conditions have
+    become literal, subscripts that fold to integers, loops with constant
+    single-iteration ranges. *)
+
+val fold_expr : Bw_ir.Ast.expr -> Bw_ir.Ast.expr
+
+(** [fold_cond c] is [`True], [`False], or [`Cond c'] partially folded. *)
+val fold_cond :
+  Bw_ir.Ast.cond -> [ `True | `False | `Cond of Bw_ir.Ast.cond ]
+
+(** Fold everything; prune dead branches; unroll loops whose constant
+    range has exactly one iteration. *)
+val simplify_stmts : Bw_ir.Ast.stmt list -> Bw_ir.Ast.stmt list
+
+val simplify_program : Bw_ir.Ast.program -> Bw_ir.Ast.program

@@ -1,0 +1,23 @@
+(** Store elimination (Section 3.3): remove memory write-backs to arrays
+    whose stored values are never consumed.
+
+    A store site [a[f(i)] = e] inside a loop is dead when
+
+    - [a] is not live-out and no later top-level statement reads it, and
+    - no read of [a] inside the same loop can observe a stored value:
+      for every (write, read) pair the dependence distance [d = iter_read
+      - iter_write] satisfies [d < 0] (the read sees only initial values),
+      or [d = 0] with the read occurring textually before the store.
+
+    Removing the assignment also removes its right-hand side; combined
+    with {!Scalar_replace.forward_stores} this is exactly the paper's
+    transformation: finish the uses in registers, then stop writing the
+    array back. *)
+
+(** Returns the rewritten program and the arrays whose stores were
+    removed. *)
+val eliminate_dead_stores : Bw_ir.Ast.program -> Bw_ir.Ast.program * string list
+
+(** The full Figure 7 pipeline: forward stores, then eliminate the dead
+    ones.  Returns the program and the arrays eliminated. *)
+val run : Bw_ir.Ast.program -> Bw_ir.Ast.program * string list

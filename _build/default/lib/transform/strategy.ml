@@ -1,0 +1,61 @@
+type stage_report = {
+  fused_loops : int;
+  contracted : string list;
+  shrink_plans : Shrink.plan list;
+  stores_eliminated : string list;
+  forwarded : int;
+}
+
+type options = {
+  fuse : bool;
+  contract : bool;
+  shrink : bool;
+  store_elim : bool;
+}
+
+let all_on = { fuse = true; contract = true; shrink = true; store_elim = true }
+
+let fusion_only =
+  { fuse = true; contract = false; shrink = false; store_elim = false }
+
+let run ?(options = all_on) (p : Bw_ir.Ast.program) =
+  let before = List.length p.Bw_ir.Ast.body in
+  let p = if options.fuse then Fuse.greedy p else p in
+  let fused_loops = before - List.length p.Bw_ir.Ast.body in
+  let p, contracted =
+    if options.contract then Contract.contract_arrays p else (p, [])
+  in
+  let p, shrink_plans =
+    if options.shrink then Shrink.shrink_all p else (p, [])
+  in
+  let p, forwarded =
+    if options.store_elim then Scalar_replace.forward_stores p else (p, 0)
+  in
+  let p, stores_eliminated =
+    if options.store_elim then Store_elim.eliminate_dead_stores p else (p, [])
+  in
+  (* The pipeline may leave a forwarding temp whose store was the only
+     consumer; one more contraction pass tidies that up. *)
+  let p, contracted2 =
+    if options.contract then Contract.contract_arrays p else (p, [])
+  in
+  Bw_ir.Check.check_exn p;
+  ( p,
+    { fused_loops;
+      contracted = contracted @ contracted2;
+      shrink_plans;
+      stores_eliminated;
+      forwarded } )
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>fused %d loop(s)@,contracted: %s@,shrunk: %s@,store-eliminated: %s@,forwarded %d site(s)@]"
+    r.fused_loops
+    (match r.contracted with [] -> "-" | l -> String.concat ", " l)
+    (match r.shrink_plans with
+    | [] -> "-"
+    | l ->
+      String.concat ", "
+        (List.map (fun (pl : Shrink.plan) -> pl.Shrink.array) l))
+    (match r.stores_eliminated with [] -> "-" | l -> String.concat ", " l)
+    r.forwarded

@@ -1,0 +1,29 @@
+(** The paper's end-to-end compiler strategy: fuse loops globally, then
+    reduce storage (contract, shrink, peel), then eliminate the remaining
+    write-backs.  Each stage is optional so the ablation benchmarks can
+    switch pieces off. *)
+
+type stage_report = {
+  fused_loops : int;  (** top-level statements removed by fusion *)
+  contracted : string list;
+  shrink_plans : Shrink.plan list;
+  stores_eliminated : string list;
+  forwarded : int;  (** store sites whose uses were forwarded *)
+}
+
+type options = {
+  fuse : bool;
+  contract : bool;
+  shrink : bool;
+  store_elim : bool;
+}
+
+val all_on : options
+val fusion_only : options
+
+(** [run ?options p] applies the pipeline, returning the transformed
+    program and a report of what each stage did.  The result always
+    type-checks; semantic preservation is the test suite's burden. *)
+val run : ?options:options -> Bw_ir.Ast.program -> Bw_ir.Ast.program * stage_report
+
+val pp_report : Format.formatter -> stage_report -> unit

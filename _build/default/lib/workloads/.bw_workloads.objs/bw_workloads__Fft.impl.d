@@ -1,0 +1,1 @@
+lib/workloads/fft.ml: Bw_ir

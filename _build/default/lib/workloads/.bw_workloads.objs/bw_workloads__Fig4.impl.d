@@ -1,0 +1,1 @@
+lib/workloads/fig4.ml: Bw_ir

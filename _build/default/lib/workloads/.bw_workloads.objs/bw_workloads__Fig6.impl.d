@@ -1,0 +1,1 @@
+lib/workloads/fig6.ml: Bw_ir

@@ -1,0 +1,1 @@
+lib/workloads/fig6.mli: Bw_ir

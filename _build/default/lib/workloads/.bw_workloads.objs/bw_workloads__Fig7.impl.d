@@ -1,0 +1,1 @@
+lib/workloads/fig7.ml: Bw_ir

@@ -1,0 +1,1 @@
+lib/workloads/fig7.mli: Bw_ir

@@ -1,0 +1,1 @@
+lib/workloads/irregular.ml: Bw_ir List

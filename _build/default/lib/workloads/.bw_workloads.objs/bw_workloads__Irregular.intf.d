@@ -1,0 +1,1 @@
+lib/workloads/irregular.mli: Bw_ir

@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Bw_ir Bw_transform

@@ -1,0 +1,1 @@
+lib/workloads/kernels.mli: Bw_ir

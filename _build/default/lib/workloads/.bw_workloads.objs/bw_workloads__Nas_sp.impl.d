@@ -1,0 +1,1 @@
+lib/workloads/nas_sp.ml: Bw_ir List Printf

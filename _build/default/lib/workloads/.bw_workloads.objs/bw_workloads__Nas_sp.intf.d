@@ -1,0 +1,1 @@
+lib/workloads/nas_sp.mli: Bw_ir

@@ -1,0 +1,1 @@
+lib/workloads/random_programs.ml: Bw_ir List Printf Random

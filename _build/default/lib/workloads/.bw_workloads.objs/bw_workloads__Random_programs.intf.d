@@ -1,0 +1,1 @@
+lib/workloads/random_programs.mli: Bw_ir

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Bw_ir Fft Fig4 Fig6 Fig7 Irregular Kernels List Nas_sp Printf Simple_example Stride_kernels Sweep3d

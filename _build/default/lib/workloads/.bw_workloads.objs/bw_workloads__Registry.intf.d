@@ -1,0 +1,1 @@
+lib/workloads/registry.mli: Bw_ir

@@ -1,0 +1,1 @@
+lib/workloads/simple_example.ml: Bw_ir

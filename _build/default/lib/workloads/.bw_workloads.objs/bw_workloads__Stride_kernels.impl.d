@@ -1,0 +1,1 @@
+lib/workloads/stride_kernels.ml: Bw_ir List Option Printf

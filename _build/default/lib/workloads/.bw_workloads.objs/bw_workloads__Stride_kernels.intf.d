@@ -1,0 +1,1 @@
+lib/workloads/stride_kernels.mli: Bw_ir

@@ -1,0 +1,1 @@
+lib/workloads/sweep3d.ml: Bw_ir List

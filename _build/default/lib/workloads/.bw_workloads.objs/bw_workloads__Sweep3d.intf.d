@@ -1,0 +1,1 @@
+lib/workloads/sweep3d.mli: Bw_ir

@@ -1,0 +1,65 @@
+open Bw_ir.Builder
+
+let fft ~log2n =
+  if log2n < 2 then invalid_arg "fft: log2n must be >= 2";
+  let n = 1 lsl log2n in
+  let xr i = "xr" $ [ i ] and xi i = "xi" $ [ i ] in
+  let set_xr i e = ("xr" $. [ i ]) <-- e and set_xi i e = ("xi" $. [ i ]) <-- e in
+  program "fft"
+    ~decls:
+      [ array ~init:(Init_hash 41) "xr" [ n ];
+        array ~init:(Init_hash 42) "xi" [ n ];
+        int_scalar "jrev";
+        int_scalar "krev";
+        int_scalar "le";
+        int_scalar "le2";
+        int_scalar "ib";
+        int_scalar "ip";
+        scalar "wr";
+        scalar "wi";
+        scalar "tr";
+        scalar "ti";
+        scalar "swap" ]
+    ~live_out:[ "xr"; "xi" ]
+    [ (* bit-reversal permutation (bounded-loop form of the classic
+         while-based index update) *)
+      sc "jrev" <-- int 1;
+      for_ "i" (int 1) (int (n - 1))
+        [ if_
+            (v "i" <: v "jrev")
+            [ sc "swap" <-- xr (v "i");
+              set_xr (v "i") (xr (v "jrev"));
+              set_xr (v "jrev") (v "swap");
+              sc "swap" <-- xi (v "i");
+              set_xi (v "i") (xi (v "jrev"));
+              set_xi (v "jrev") (v "swap") ]
+            [];
+          sc "krev" <-- int (n / 2);
+          for_ "b" (int 1) (int log2n)
+            [ if_
+                (and_ (v "krev" >=: int 1) (v "jrev" >: v "krev"))
+                [ sc "jrev" <-- (v "jrev" -: v "krev");
+                  sc "krev" <-- (v "krev" /: int 2) ]
+                [] ];
+          sc "jrev" <-- (v "jrev" +: v "krev") ];
+      (* butterfly stages, block-major: the inner loop walks contiguous
+         elements (ib = b..b+le-1 and their partners), the ordering any
+         cache-aware FFT uses *)
+      sc "le" <-- int 1;
+      for_ "s" (int 1) (int log2n)
+        [ sc "le2" <-- (v "le" *: int 2);
+          for_ "b" (int 1) (int n) ~step:(v "le2")
+            [ for_ "j" (int 0) (v "le" -: int 1)
+                [ sc "ib" <-- (v "b" +: v "j");
+                  sc "ip" <-- (v "ib" +: v "le");
+                  sc "wr" <-- call "cos_tw" [ to_float (v "j"); to_float (v "le") ];
+                  sc "wi" <-- call "sin_tw" [ to_float (v "j"); to_float (v "le") ];
+                  sc "tr"
+                  <-- ((xr (v "ip") *: v "wr") -: (xi (v "ip") *: v "wi"));
+                  sc "ti"
+                  <-- ((xr (v "ip") *: v "wi") +: (xi (v "ip") *: v "wr"));
+                  set_xr (v "ip") (xr (v "ib") -: v "tr");
+                  set_xi (v "ip") (xi (v "ib") -: v "ti");
+                  set_xr (v "ib") (xr (v "ib") +: v "tr");
+                  set_xi (v "ib") (xi (v "ib") +: v "ti") ] ];
+          sc "le" <-- v "le2" ] ]

@@ -1,0 +1,10 @@
+(** Iterative radix-2 Cooley-Tukey FFT over split real/imaginary arrays:
+    bit-reversal permutation followed by log2(n) butterfly stages with
+    power-of-two strides.  The twiddle factors come from the IR's opaque
+    (deterministic) intrinsics rather than real trigonometry — the memory
+    access pattern, which is what the balance model measures, is exactly
+    the classic FFT's. *)
+
+(** [fft ~log2n] builds the kernel for [n = 2^log2n] points.
+    @raise Invalid_argument if [log2n < 2]. *)
+val fft : log2n:int -> Bw_ir.Ast.program

@@ -1,0 +1,45 @@
+open Bw_ir.Builder
+
+let original ~n =
+  let a i j = "a" $ [ i; j ] in
+  let b i j = "b" $ [ i; j ] in
+  program "fig6_original"
+    ~decls:[ array "a" [ n; n ]; array "b" [ n; n ]; scalar "sum" ]
+    ~live_out:[ "sum" ]
+    [ (* initialisation of data *)
+      for_ "j" (int 1) (int n)
+        [ for_ "i" (int 1) (int n) [ read ("a" $. [ v "i"; v "j" ]) ] ];
+      (* computation *)
+      for_ "j" (int 2) (int n)
+        [ for_ "i" (int 1) (int n)
+            [ ("b" $. [ v "i"; v "j" ])
+              <-- call "f" [ a (v "i") (v "j" -: int 1); a (v "i") (v "j") ] ] ];
+      for_ "i" (int 1) (int n)
+        [ ("b" $. [ v "i"; int n ])
+          <-- call "g" [ b (v "i") (int n); a (v "i") (int 1) ] ];
+      (* check results *)
+      for_ "j" (int 2) (int n)
+        [ for_ "i" (int 1) (int n)
+            [ sc "sum" <-- (v "sum" +: a (v "i") (v "j") +: b (v "i") (v "j")) ] ];
+      print (v "sum") ]
+
+let fused ~n =
+  let a i j = "a" $ [ i; j ] in
+  let b i j = "b" $ [ i; j ] in
+  program "fig6_fused"
+    ~decls:[ array "a" [ n; n ]; array "b" [ n; n ]; scalar "sum" ]
+    ~live_out:[ "sum" ]
+    [ for_ "i" (int 1) (int n) [ read ("a" $. [ v "i"; int 1 ]) ];
+      for_ "j" (int 2) (int n)
+        [ for_ "i" (int 1) (int n)
+            [ read ("a" $. [ v "i"; v "j" ]);
+              ("b" $. [ v "i"; v "j" ])
+                <-- call "f" [ a (v "i") (v "j" -: int 1); a (v "i") (v "j") ];
+              if_
+                (v "j" <=: int (n - 1))
+                [ sc "sum" <-- (v "sum" +: a (v "i") (v "j") +: b (v "i") (v "j")) ]
+                [ ("b" $. [ v "i"; v "j" ])
+                    <-- call "g" [ b (v "i") (v "j"); a (v "i") (int 1) ];
+                  sc "sum"
+                  <-- (v "sum" +: a (v "i") (v "j") +: b (v "i") (v "j")) ] ] ];
+      print (v "sum") ]

@@ -1,0 +1,16 @@
+(** The Figure 6 program: array shrinking and peeling.
+
+    [original] is Figure 6(a): initialise [a[N,N]] from input, compute
+    [b[i,j] = f(a[i,j-1], a[i,j])], adjust the last column with
+    [g(b[i,N], a[i,1])], and reduce everything into [sum].
+
+    [fused] is Figure 6(b): the same computation restructured into one
+    prologue loop plus one fused loop nest (the paper performs this step
+    with loop embedding, which we reproduce by hand exactly as printed).
+    From [fused], the library's contraction and shrinking passes derive
+    the Figure 6(c) storage: [b] becomes a scalar and [a[N,N]] becomes an
+    [N x 2] rolling buffer plus one peeled [N]-element column — O(N)
+    storage in place of O(N^2). *)
+
+val original : n:int -> Bw_ir.Ast.program
+val fused : n:int -> Bw_ir.Ast.program

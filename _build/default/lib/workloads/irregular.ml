@@ -1,0 +1,38 @@
+open Bw_ir.Builder
+
+let index_arrays = [ "idx1"; "idx2" ]
+let data_arrays = [ "x"; "f" ]
+
+(* idx values must land in [1, particles]: Init_hash produces values in
+   [0, 1000); build the program with a prologue that folds them into
+   range so the kernel stays checked and deterministic. *)
+let interactions ~particles ~pairs ~sweeps =
+  if particles < 2 || pairs < 1 || sweeps < 1 then
+    invalid_arg "Irregular.interactions";
+  let i1 k = "idx1" $ [ k ] and i2 k = "idx2" $ [ k ] in
+  program "irregular"
+    ~decls:
+      [ array ~dtype:I64 ~init:(Init_hash 61) "idx1" [ pairs ];
+        array ~dtype:I64 ~init:(Init_hash 62) "idx2" [ pairs ];
+        array ~init:(Init_hash 63) "x" [ particles ];
+        array ~init:Init_zero "f" [ particles ];
+        scalar "d" ]
+    ~live_out:[ "f" ]
+    ([ (* fold the raw hash values into [1, particles], avoiding self
+          pairs by bumping the second index *)
+       for_ "k" (int 1) (int pairs)
+         [ ("idx1" $. [ v "k" ]) <-- ((i1 (v "k") %: int particles) +: int 1);
+           ("idx2" $. [ v "k" ]) <-- ((i2 (v "k") %: int particles) +: int 1);
+           if_
+             (i1 (v "k") =: i2 (v "k"))
+             [ ("idx2" $. [ v "k" ])
+               <-- ((i2 (v "k") %: int (particles - 1)) +: int 1) ]
+             [] ] ]
+    @ List.init sweeps (fun s ->
+          let w = 0.5 +. (0.01 *. float_of_int s) in
+          for_ "k" (int 1) (int pairs)
+            [ sc "d"
+              <-- (fl w
+                  *: (("x" $ [ i1 (v "k") ]) -: ("x" $ [ i2 (v "k") ])));
+              ("f" $. [ i1 (v "k") ]) <-- (("f" $ [ i1 (v "k") ]) +: v "d");
+              ("f" $. [ i2 (v "k") ]) <-- (("f" $ [ i2 (v "k") ]) -: v "d") ]))

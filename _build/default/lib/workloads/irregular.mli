@@ -1,0 +1,18 @@
+(** An irregular, moldyn-like interaction kernel: a list of particle
+    pairs [(idx1 k, idx2 k)] drives indirect reads of the coordinate
+    array and indirect updates of the force array.  With hash-random
+    pairs the accesses have no locality — the dynamic-application case
+    the paper's strategy handles with run-time locality grouping and
+    data packing (Section 4). *)
+
+(** [interactions ~particles ~pairs ~sweeps] builds the kernel.  Index
+    arrays are initialised to pseudo-random particle numbers; the force
+    array is live-out. *)
+val interactions :
+  particles:int -> pairs:int -> sweeps:int -> Bw_ir.Ast.program
+
+(** Names of the pieces, for the packing transformation:
+    index arrays [["idx1"; "idx2"]], data arrays [["x"; "f"]]. *)
+val index_arrays : string list
+
+val data_arrays : string list

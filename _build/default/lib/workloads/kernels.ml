@@ -1,0 +1,66 @@
+open Bw_ir.Builder
+
+let convolution ~n ~taps =
+  if taps >= n then invalid_arg "convolution: taps >= n";
+  program "convolution"
+    ~decls:
+      [ array ~init:(Init_hash 11) "in" [ n + taps ];
+        array ~init:(Init_hash 12) "w" [ taps ];
+        array "out" [ n ] ]
+    ~live_out:[ "out" ]
+    [ for_ "i" (int 1) (int n)
+        [ ("out" $. [ v "i" ]) <-- fl 0.0;
+          for_ "k" (int 1) (int taps)
+            [ ("out" $. [ v "i" ])
+              <-- (("out" $ [ v "i" ])
+                  +: (("in" $ [ v "i" +: v "k" -: int 1 ]) *: ("w" $ [ v "k" ]))) ] ] ]
+
+let dmxpy ~n =
+  program "dmxpy"
+    ~decls:
+      [ array ~init:(Init_hash 21) "m" [ n; n ];
+        array ~init:(Init_hash 22) "x" [ n ];
+        array ~init:(Init_hash 23) "y" [ n ] ]
+    ~live_out:[ "y" ]
+    [ for_ "j" (int 1) (int n)
+        [ for_ "i" (int 1) (int n)
+            [ ("y" $. [ v "i" ])
+              <-- (("y" $ [ v "i" ])
+                  +: (("x" $ [ v "j" ]) *: ("m" $ [ v "i"; v "j" ]))) ] ] ]
+
+type mm_order = Ijk | Jki
+
+let mm_loop_body =
+  ("c" $. [ v "i"; v "j" ])
+  <-- (("c" $ [ v "i"; v "j" ])
+      +: (("a" $ [ v "i"; v "k" ]) *: ("b" $ [ v "k"; v "j" ])))
+
+let mm ?(order = Jki) ~n () =
+  let loop index body = for_ index (int 1) (int n) body in
+  let nest =
+    match order with
+    | Ijk -> loop "i" [ loop "j" [ loop "k" [ mm_loop_body ] ] ]
+    | Jki -> loop "j" [ loop "k" [ loop "i" [ mm_loop_body ] ] ]
+  in
+  program
+    (match order with Ijk -> "mm_ijk" | Jki -> "mm_jki")
+    ~decls:
+      [ array ~init:(Init_hash 31) "a" [ n; n ];
+        array ~init:(Init_hash 32) "b" [ n; n ];
+        array ~init:Init_zero "c" [ n; n ] ]
+    ~live_out:[ "c" ] [ nest ]
+
+let mm_blocked ~n ~tile =
+  let base = mm ~order:Jki ~n () in
+  match base.Bw_ir.Ast.body with
+  | [ Bw_ir.Ast.For nest ] -> (
+    match
+      Bw_transform.Tile.tile_nest nest
+        ~tiles:[ ("j", tile); ("k", tile); ("i", tile) ]
+    with
+    | Ok tiled ->
+      { base with
+        Bw_ir.Ast.prog_name = "mm_blocked";
+        Bw_ir.Ast.body = [ Bw_ir.Ast.For tiled ] }
+    | Error e -> invalid_arg ("mm_blocked: " ^ e))
+  | _ -> assert false

@@ -1,0 +1,18 @@
+(** The Figure 1 kernel programs: convolution, dmxpy, matrix multiply. *)
+
+(** 1-D convolution: [out[i] = sum_k in[i+k-1] * w[k]], [k = 1..taps]. *)
+val convolution : n:int -> taps:int -> Bw_ir.Ast.program
+
+(** The Linpack dmxpy kernel: [y[i] += m[i,j] * x[j]] over all [j], [i] —
+    a dense matrix-vector accumulate. *)
+val dmxpy : n:int -> Bw_ir.Ast.program
+
+type mm_order = Ijk | Jki
+
+(** Dense matrix multiply [c = a * b] in the given loop order.  [Jki] is
+    the classic Fortran inner-product order the paper measures at -O2. *)
+val mm : ?order:mm_order -> n:int -> unit -> Bw_ir.Ast.program
+
+(** [mm] blocked with the library's tiling pass — the paper's "-O3"
+    (Carr-Kennedy blocking).  @raise Invalid_argument if tiling fails. *)
+val mm_blocked : n:int -> tile:int -> Bw_ir.Ast.program

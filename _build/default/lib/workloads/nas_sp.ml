@@ -1,0 +1,127 @@
+open Bw_ir.Builder
+
+(* State: five conserved components u1..u5; auxiliaries; five rhs
+   components.  All [n,n,n], column-major, i fastest. *)
+
+let grid_decls n =
+  let cube seed name = array ~init:(Init_hash seed) name [ n; n; n ] in
+  List.mapi (fun k name -> cube (100 + k) name)
+    [ "u1"; "u2"; "u3"; "u4"; "u5";
+      "rhs1"; "rhs2"; "rhs3"; "rhs4"; "rhs5";
+      "us"; "vs"; "ws"; "qs"; "rho_i"; "speed" ]
+
+let at name = name $ [ v "i"; v "j"; v "k" ]
+let set name e = (name $. [ v "i"; v "j"; v "k" ]) <-- e
+
+let shift name di dj dk =
+  name $ [ v "i" +: int di; v "j" +: int dj; v "k" +: int dk ]
+
+let sweep ?(lo = 1) ?(hi_off = 0) n body =
+  for_ "k" (int lo) (int (n - hi_off))
+    [ for_ "j" (int lo) (int (n - hi_off))
+        [ for_ "i" (int lo) (int (n - hi_off)) body ] ]
+
+(* 1. compute_aux: pointwise preparation of velocities and sound speed
+   (SP's initialize/adi prologue). *)
+let compute_aux_body =
+  [ set "rho_i" (fl 1.0 /: at "u1");
+    set "us" (at "u2" *: at "rho_i");
+    set "vs" (at "u3" *: at "rho_i");
+    set "ws" (at "u4" *: at "rho_i");
+    set "qs"
+      (fl 0.5
+      *: ((at "us" *: at "us") +: (at "vs" *: at "vs") +: (at "ws" *: at "ws")));
+    set "speed" (sqrt_ (abs_ ((fl 1.4 *: at "u5" *: at "rho_i") -: at "qs"))) ]
+
+(* 2. compute_rhs: central-difference stencil over the state in all three
+   directions -- the big streaming phase. *)
+let compute_rhs_body c =
+  let u = Printf.sprintf "u%d" c and rhs = Printf.sprintf "rhs%d" c in
+  [ set rhs
+      ((fl (-6.0) *: at u)
+      +: shift u 1 0 0 +: shift u (-1) 0 0
+      +: shift u 0 1 0 +: shift u 0 (-1) 0
+      +: shift u 0 0 1 +: shift u 0 0 (-1)
+      +: (at "qs" *: fl 0.1)) ]
+
+(* 3. txinvr: pointwise 5x5-ish transform mixing the rhs components. *)
+let txinvr_body =
+  [ set "rhs1"
+      (at "rhs1" +: (at "rho_i" *: ((at "us" *: at "rhs2") +: (at "vs" *: at "rhs3"))));
+    set "rhs2" (at "rhs2" -: (at "speed" *: at "rhs1"));
+    set "rhs3" (at "rhs3" +: (at "speed" *: at "rhs1"));
+    set "rhs4" (at "rhs4" -: (at "qs" *: at "rhs5"));
+    set "rhs5" ((at "rhs5" *: fl 0.98) +: (at "ws" *: at "rhs4")) ]
+
+(* 4-6. line solves: first-order recurrence then back-substitution along
+   one grid direction, SP's Thomas-algorithm structure. *)
+let line_solve ~dir n =
+  let fwd, bwd, name =
+    match dir with
+    | `X ->
+      ( (fun body -> [ for_ "k" (int 1) (int n) [ for_ "j" (int 1) (int n) [ for_ "i" (int 2) (int n) body ] ] ]),
+        (fun body -> [ for_ "k" (int 1) (int n) [ for_ "j" (int 1) (int n) [ for_ "i" (int 1) (int (n - 1)) body ] ] ]),
+        "x_solve" )
+    | `Y ->
+      ( (fun body -> [ for_ "k" (int 1) (int n) [ for_ "i" (int 1) (int n) [ for_ "j" (int 2) (int n) body ] ] ]),
+        (fun body -> [ for_ "k" (int 1) (int n) [ for_ "i" (int 1) (int n) [ for_ "j" (int 1) (int (n - 1)) body ] ] ]),
+        "y_solve" )
+    | `Z ->
+      ( (fun body -> [ for_ "j" (int 1) (int n) [ for_ "i" (int 1) (int n) [ for_ "k" (int 2) (int n) body ] ] ]),
+        (fun body -> [ for_ "j" (int 1) (int n) [ for_ "i" (int 1) (int n) [ for_ "k" (int 1) (int (n - 1)) body ] ] ]),
+        "z_solve" )
+  in
+  let prev name_ =
+    match dir with
+    | `X -> shift name_ (-1) 0 0
+    | `Y -> shift name_ 0 (-1) 0
+    | `Z -> shift name_ 0 0 (-1)
+  in
+  let next name_ =
+    match dir with
+    | `X -> shift name_ 1 0 0
+    | `Y -> shift name_ 0 1 0
+    | `Z -> shift name_ 0 0 1
+  in
+  let forward c =
+    let rhs = Printf.sprintf "rhs%d" c in
+    set rhs (at rhs -: (fl 0.45 *: prev rhs *: at "speed"))
+  in
+  let backward c =
+    let rhs = Printf.sprintf "rhs%d" c in
+    set rhs (at rhs -: (fl 0.45 *: next rhs))
+  in
+  (name, fwd [ forward 1; forward 2; forward 3 ] @ bwd [ backward 1; backward 2; backward 3 ])
+
+(* 7. add: u += rhs for all five components. *)
+let add_body =
+  List.init 5 (fun c ->
+      let c = c + 1 in
+      let u = Printf.sprintf "u%d" c and rhs = Printf.sprintf "rhs%d" c in
+      set u (at u +: at rhs))
+
+let named_bodies n =
+  [ ("compute_aux", [ sweep n compute_aux_body ]);
+    ( "compute_rhs",
+      [ sweep ~lo:2 ~hi_off:1 n (List.concat_map compute_rhs_body [ 1; 2; 3; 4; 5 ]) ] );
+    ("txinvr", [ sweep n txinvr_body ]);
+    (let name, body = line_solve ~dir:`X n in
+     (name, body));
+    (let name, body = line_solve ~dir:`Y n in
+     (name, body));
+    (let name, body = line_solve ~dir:`Z n in
+     (name, body));
+    ("add", [ sweep n add_body ]) ]
+
+let subroutines ~n =
+  List.map
+    (fun (name, body) ->
+      ( name,
+        program ("sp_" ^ name) ~decls:(grid_decls n)
+          ~live_out:[ "u1"; "u5"; "rhs1" ]
+          body ))
+    (named_bodies n)
+
+let full ~n =
+  program "sp_full" ~decls:(grid_decls n) ~live_out:[ "u1"; "u5" ]
+    (List.concat_map snd (named_bodies n))

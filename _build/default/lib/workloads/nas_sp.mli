@@ -1,0 +1,16 @@
+(** A scaled-down port of the NAS/SP benchmark's compute core.
+
+    SP is an ADI solver over a 3-D grid with a 5-component state vector.
+    This port keeps the seven major subroutine groups the paper measures
+    (Section 2.3) and their array-streaming structure — multi-array
+    stencil sweeps, pointwise transforms and line recurrences — while
+    shrinking the physics to deterministic arithmetic on the same
+    arrays.  Program balance is a per-flop ratio, so fidelity of the
+    access pattern, not of the fluid dynamics, is what matters. *)
+
+(** The seven subroutines as standalone programs over an [n^3] grid:
+    compute_aux, compute_rhs, txinvr, x_solve, y_solve, z_solve, add. *)
+val subroutines : n:int -> (string * Bw_ir.Ast.program) list
+
+(** All seven in sequence, sharing state. *)
+val full : n:int -> Bw_ir.Ast.program

@@ -1,0 +1,36 @@
+let generate ~seed ~loops ~arrays ~n =
+  if arrays < 1 || loops < 1 || n < 1 then
+    invalid_arg "Random_programs.generate";
+  let rng = Random.State.make [| seed; 0xbeef |] in
+  let open Bw_ir.Builder in
+  let array_name k = Printf.sprintf "x%d" k in
+  let decls =
+    List.init arrays (fun k -> array ~init:(Init_hash k) (array_name k) [ n ])
+    @ [ scalar "acc" ]
+  in
+  let body =
+    List.init loops (fun _ ->
+        if Random.State.int rng 4 = 0 then
+          let a = array_name (Random.State.int rng arrays) in
+          for_ "i" (int 1) (int n)
+            [ sc "acc" <-- (v "acc" +: (a $ [ v "i" ])) ]
+        else begin
+          let target = array_name (Random.State.int rng arrays) in
+          let sources =
+            List.init
+              (1 + Random.State.int rng 3)
+              (fun _ -> array_name (Random.State.int rng arrays))
+          in
+          let rhs =
+            List.fold_left
+              (fun acc a -> acc +: (a $ [ v "i" ]))
+              (target $ [ v "i" ])
+              sources
+          in
+          for_ "i" (int 1) (int n) [ (target $. [ v "i" ]) <-- rhs ]
+        end)
+  in
+  program
+    (Printf.sprintf "random%d" seed)
+    ~decls ~live_out:[ "acc" ]
+    (body @ [ print (v "acc") ])

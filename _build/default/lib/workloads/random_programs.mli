@@ -1,0 +1,7 @@
+(** Deterministic random stream programs, used by the fusion ablation
+    benchmarks and by property tests: a sequence of loops, each updating
+    one array from a random subset of the others, interleaved with scalar
+    reduction loops that create fusion-preventing structure. *)
+
+val generate :
+  seed:int -> loops:int -> arrays:int -> n:int -> Bw_ir.Ast.program

@@ -1,0 +1,13 @@
+(** Name-indexed catalogue of every workload, for the CLI and benches.
+    [scale] is a coarse size knob: 1 = quick test sizes, 2 = the sizes
+    the experiment drivers use, 3 = stress sizes. *)
+
+type entry = {
+  name : string;
+  description : string;
+  build : scale:int -> Bw_ir.Ast.program;
+}
+
+val all : entry list
+val find : string -> entry option
+val names : unit -> string list

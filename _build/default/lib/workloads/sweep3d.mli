@@ -1,0 +1,11 @@
+(** A Sweep3D-like discrete-ordinates wavefront sweep.
+
+    Each cell combines its source and total cross-section with the
+    incoming angular fluxes carried by three 2-D edge arrays (one per
+    upwind face), accumulates the scalar flux, and updates the edge
+    arrays in place — the DOE Sweep3D kernel's memory structure: three
+    3-D streams plus three reused 2-D planes per sweep direction. *)
+
+(** [sweep ~n ~octants] builds [octants] full sweeps (1..8) over an
+    [n^3] grid. *)
+val sweep : n:int -> octants:int -> Bw_ir.Ast.program

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_analysis Test_compile Test_core Test_exec Test_fusion Test_graph Test_ir Test_machine Test_misc Test_packing Test_reuse Test_transform Test_workloads

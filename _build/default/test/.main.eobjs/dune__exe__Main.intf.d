@@ -1,0 +1,1 @@
+test/main.mli:

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Affine Alcotest Ast Bw_analysis Bw_ir Bw_workloads Depend Format Gen List Live Option Parser Printf QCheck QCheck_alcotest Refs Test

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bw_core Bw_exec Bw_ir Bw_machine Bw_transform Bw_workloads Float List Printf String

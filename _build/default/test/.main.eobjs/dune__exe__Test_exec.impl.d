@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Bw_exec Bw_ir Bw_machine Float Interp List Parser Printf QCheck QCheck_alcotest Run Test

@@ -1,0 +1,1 @@
+test/test_fusion.ml: Alcotest Bandwidth_minimal Bw_exec Bw_fusion Bw_graph Bw_ir Bw_workloads Cost Edge_weighted Fusion_graph Hyper_fusion Kway_reduction List Printf Random

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bw_graph Digraph Flow Graph_gen Hashtbl Hyper_cut Hypergraph Kway List Printf QCheck QCheck_alcotest Random Test Topo Undirected Vertex_cut

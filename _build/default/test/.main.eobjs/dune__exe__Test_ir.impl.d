@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Ast_util Builder Bw_ir Check Format Lexer List Parser Pretty QCheck QCheck_alcotest Stdlib String Test

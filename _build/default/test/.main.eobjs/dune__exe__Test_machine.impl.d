@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Bw_machine Cache Counters Layout List Machine Probes QCheck QCheck_alcotest Random Test Timing Translate

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Ast Builder Bw_exec Bw_fusion Bw_graph Bw_ir Bw_machine Bw_transform Bw_workloads List Parser Printf Result

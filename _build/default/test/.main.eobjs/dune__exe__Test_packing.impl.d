@@ -1,0 +1,1 @@
+test/test_packing.ml: Alcotest Bw_exec Bw_ir Bw_machine Bw_transform Bw_workloads Irregular List Packing Printf

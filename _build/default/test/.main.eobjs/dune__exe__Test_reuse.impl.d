@@ -1,0 +1,1 @@
+test/test_reuse.ml: Alcotest Bw_exec Bw_machine Bw_workloads Cache List Printf QCheck QCheck_alcotest Random Reuse Test

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bw_exec Bw_ir Bw_machine Bw_workloads Fft Fig6 Fig7 Float Format Kernels List Nas_sp Printf Registry Stride_kernels String Sweep3d

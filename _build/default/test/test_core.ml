@@ -1,0 +1,306 @@
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  go 0
+
+(* --- Table --------------------------------------------------------------- *)
+
+let test_table_render () =
+  let t =
+    Bw_core.Table.make ~title:"t" ~header:[ "a"; "b" ]
+      ~notes:[ "n1" ]
+      [ [ "x"; "1" ]; [ "longer"; "22" ] ]
+  in
+  let s = Bw_core.Table.to_string t in
+  check bool "title" true (String.length s > 0);
+  check bool "contains row" true (contains ~affix:"longer" s);
+  check bool "contains note" true (contains ~affix:"n1" s)
+
+let test_table_formatters () =
+  check Alcotest.string "f1" "1.5" (Bw_core.Table.f1 1.52);
+  check Alcotest.string "mb_s" "312 MB/s" (Bw_core.Table.mb_s 312e6);
+  check Alcotest.string "ms" "2.50 ms" (Bw_core.Table.ms 0.0025);
+  check Alcotest.string "pct" "84%" (Bw_core.Table.pct 0.84)
+
+(* --- Balance ---------------------------------------------------------------- *)
+
+let test_machine_balance_row () =
+  let row = Bw_core.Balance.of_machine Bw_machine.Machine.origin2000 in
+  check Alcotest.(list string) "boundaries"
+    [ "L1-Reg"; "L2-L1"; "Mem-L2" ]
+    (List.map fst row.Bw_core.Balance.per_boundary)
+
+let test_ratios_and_bound () =
+  let machine = Bw_machine.Machine.origin2000 in
+  let p = Bw_workloads.Simple_example.read_loop ~n:300_000 in
+  let row = Bw_core.Balance.of_program ~machine p in
+  let resource, ratio = Bw_core.Balance.worst_ratio row machine in
+  check Alcotest.string "memory binds" "Mem-L2" resource;
+  check bool "ratio ~10 (8 bytes/flop vs 0.8)" true (ratio > 8.0 && ratio < 12.0);
+  let u = Bw_core.Balance.cpu_utilisation_bound row machine in
+  check bool "bound ~1/ratio" true (Float.abs ((1.0 /. ratio) -. u) < 1e-9)
+
+(* --- Experiments (smoke at tiny scale) ----------------------------------------- *)
+
+let test_all_experiments_run () =
+  List.iter
+    (fun (id, f) ->
+      let t = f ?scale:(Some 1) () in
+      if t.Bw_core.Table.rows = [] then Alcotest.failf "%s: empty table" id)
+    Bw_core.Experiments.all
+
+let test_fig4_table_contents () =
+  let t = Bw_core.Experiments.fig4 ~scale:1 () in
+  match t.Bw_core.Table.rows with
+  | [ unfused; ew; bw ] ->
+    check Alcotest.string "unfused 20" "20" (List.nth unfused 1);
+    check Alcotest.string "edge-weighted 8" "8" (List.nth ew 1);
+    check Alcotest.string "bandwidth-minimal 7" "7" (List.nth bw 1);
+    check Alcotest.string "edge weight of ew optimum" "2" (List.nth ew 2)
+  | _ -> Alcotest.fail "expected three rows"
+
+let test_fig3_shape () =
+  let t = Bw_core.Experiments.fig3 ~scale:1 () in
+  (* parse back "NNN MB/s" *)
+  let value row col =
+    match List.nth_opt row col with
+    | Some cell -> float_of_string (List.hd (String.split_on_char ' ' cell))
+    | None -> Alcotest.fail "missing cell"
+  in
+  let rows = t.Bw_core.Table.rows in
+  let origin = List.map (fun r -> value r 1) rows in
+  let lo = List.fold_left min infinity origin in
+  let hi = List.fold_left max neg_infinity origin in
+  check bool
+    (Printf.sprintf "origin flat: %.0f..%.0f within 20%%" lo hi)
+    true
+    (hi /. lo < 1.25);
+  (* the 3w6r row dips on the Exemplar *)
+  let row_of name = List.find (fun r -> List.hd r = name) rows in
+  let dip = value (row_of "3w6r") 2 in
+  let typical = value (row_of "2w5r") 2 in
+  check bool
+    (Printf.sprintf "3w6r %.0f << 2w5r %.0f" dip typical)
+    true
+    (dip < 0.7 *. typical)
+
+let test_fig8_speedup_band () =
+  let t = Bw_core.Experiments.fig8 ~scale:1 () in
+  List.iter
+    (fun row ->
+      let speedup = float_of_string (List.nth row 4) in
+      check bool
+        (Printf.sprintf "%s speedup %.2f in [1.5, 2.5]" (List.hd row) speedup)
+        true
+        (speedup > 1.5 && speedup < 2.5))
+    t.Bw_core.Table.rows
+
+let test_sp_utilisation_band () =
+  let t = Bw_core.Experiments.sp_utilisation ~scale:1 () in
+  let high =
+    List.filter
+      (fun row ->
+        let cell = List.nth row 1 in
+        let v = int_of_string (String.sub cell 0 (String.length cell - 1)) in
+        v >= 84)
+      t.Bw_core.Table.rows
+  in
+  check bool "at least 5 of 7 subroutines >= 84%" true (List.length high >= 5)
+
+(* --- Regroup (extension) ---------------------------------------------------------- *)
+
+let regroupable_program n =
+  Bw_ir.Parser.parse_program_exn
+    (Printf.sprintf
+       {|
+       program complexmul
+         real re[%d] = hash(9)
+         real im[%d] = hash(9)
+         real outp[%d]
+         live_out outp
+         for i = 1, %d
+           outp[i] = re[i] * re[i] + im[i] * im[i]
+         end for
+       end
+       |}
+       n n n n)
+
+let test_regroup_candidates () =
+  let p = regroupable_program 64 in
+  check
+    Alcotest.(list (pair string string))
+    "re/im grouped" [ ("re", "im") ]
+    (Bw_transform.Regroup.candidates p)
+
+let test_regroup_semantics () =
+  let p = regroupable_program 128 in
+  match Bw_transform.Regroup.regroup_pair p "re" "im" with
+  | Error e -> Alcotest.fail e
+  | Ok p' ->
+    Bw_ir.Check.check_exn p';
+    let o1 = Bw_exec.Interp.run p and o2 = Bw_exec.Interp.run p' in
+    check bool "identical behaviour" true
+      (Bw_exec.Interp.equal_observation o1 o2);
+    check bool "original decls gone" true
+      (Bw_ir.Ast.find_decl p' "re" = None && Bw_ir.Ast.find_decl p' "im" = None)
+
+let test_regroup_improves_locality () =
+  (* 128-byte stride: separately the two arrays touch one L2 line per
+     access each; interleaved, the pair shares a line *)
+  let p =
+    Bw_ir.Parser.parse_program_exn
+      {|
+      program strided
+        real re[65536] = hash(3)
+        real im[65536] = hash(3)
+        real s
+        live_out s
+        for i = 1, 4096
+          s = s + re[i*16] * im[i*16]
+        end for
+      end
+      |}
+  in
+  let p', pairs = Bw_transform.Regroup.regroup_all p in
+  check Alcotest.int "one pair" 1 (List.length pairs);
+  let machine = Bw_machine.Machine.origin2000 in
+  let traffic q =
+    Bw_machine.Timing.memory_bytes
+      (Bw_exec.Run.simulate ~machine q).Bw_exec.Run.cache
+  in
+  let before = traffic p and after = traffic p' in
+  check bool
+    (Printf.sprintf "traffic %d -> %d" before after)
+    true
+    (float_of_int after < 0.7 *. float_of_int before);
+  let o1 = Bw_exec.Interp.run p and o2 = Bw_exec.Interp.run p' in
+  check bool "behaviour preserved" true (Bw_exec.Interp.equal_observation o1 o2)
+
+let test_regroup_rejects_live_out () =
+  let p =
+    Bw_ir.Parser.parse_program_exn
+      {|
+      program keep
+        real a[16] = zero
+        real b[16] = zero
+        live_out a, b
+        for i = 1, 16
+          a[i] = b[i]
+        end for
+      end
+      |}
+  in
+  check Alcotest.(list (pair string string)) "no candidates" []
+    (Bw_transform.Regroup.candidates p)
+
+let test_regroup_rejects_mismatched_init () =
+  let p =
+    Bw_ir.Parser.parse_program_exn
+      {|
+      program mism
+        real a[16] = hash(1)
+        real b[16] = hash(2)
+        real s
+        live_out s
+        for i = 1, 16
+          s = s + a[i] * b[i]
+        end for
+      end
+      |}
+  in
+  match Bw_transform.Regroup.regroup_pair p "a" "b" with
+  | Ok _ -> Alcotest.fail "expected rejection: differing initialisers"
+  | Error _ -> ()
+
+(* --- Advisor ------------------------------------------------------------------- *)
+
+let test_advisor_fig7 () =
+  let machine = Bw_machine.Machine.origin2000 in
+  (* res (5.6 MB) must overflow the 4 MB L2 for fusion to matter *)
+  let p = Bw_workloads.Fig7.original ~n:700_000 in
+  let r = Bw_core.Advisor.diagnose ~machine p in
+  check Alcotest.string "memory bound" "Mem-L2" r.Bw_core.Advisor.binding_resource;
+  check bool "memory demand high" true (r.Bw_core.Advisor.memory_demand_ratio > 5.0);
+  check bool "has suggestions" true (r.Bw_core.Advisor.suggestions <> []);
+  (* the best suggestion should reach the fully optimised traffic level *)
+  let best = List.hd r.Bw_core.Advisor.suggestions in
+  check bool "best saves >= 40%" true
+    (float_of_int best.Bw_core.Advisor.traffic_after
+    < 0.6 *. float_of_int best.Bw_core.Advisor.traffic_before);
+  (* the suggested program is directly usable and equivalent *)
+  let o1 = Bw_exec.Interp.run p in
+  let o2 = Bw_exec.Interp.run best.Bw_core.Advisor.apply in
+  check bool "suggestion preserves semantics" true
+    (Bw_exec.Interp.equal_observation o1 o2)
+
+let test_advisor_quiet_when_nothing_helps () =
+  (* a single already-minimal streaming loop *)
+  let p = Bw_workloads.Simple_example.read_loop ~n:50_000 in
+  let machine = Bw_machine.Machine.origin2000 in
+  let r = Bw_core.Advisor.diagnose ~machine p in
+  check bool "no false suggestions" true (r.Bw_core.Advisor.suggestions = [])
+
+let test_advisor_suggests_tiling_for_mm () =
+  let machine =
+    { Bw_machine.Machine.origin2000 with
+      Bw_machine.Machine.name = "small";
+      caches =
+        [ { Bw_machine.Cache.size_bytes = 2048; line_bytes = 32; associativity = 2 };
+          { Bw_machine.Cache.size_bytes = 64 * 1024;
+            line_bytes = 128;
+            associativity = 2 } ] }
+  in
+  let p = Bw_workloads.Kernels.mm ~order:Bw_workloads.Kernels.Jki ~n:96 () in
+  let r = Bw_core.Advisor.diagnose ~machine p in
+  check bool "tiling suggested" true
+    (List.exists
+       (fun s ->
+         contains ~affix:"tile" s.Bw_core.Advisor.action)
+       r.Bw_core.Advisor.suggestions)
+
+(* --- latency model -------------------------------------------------------------- *)
+
+let test_latency_model () =
+  let machine = Bw_machine.Machine.origin2000 in
+  let p = Bw_workloads.Stride_kernels.kernel ~writes:1 ~reads:1 ~n:50_000 in
+  let r = Bw_exec.Run.simulate ~machine p in
+  let t overlap =
+    Bw_machine.Timing.predict_with_latency machine r.Bw_exec.Run.cache
+      r.Bw_exec.Run.counters ~miss_latency:400e-9 ~overlap
+  in
+  check bool "monotone in overlap" true (t 0.0 > t 0.5 && t 0.5 > t 1.0);
+  check bool "full overlap = bandwidth bound" true
+    (Float.abs (t 1.0 -. r.Bw_exec.Run.breakdown.Bw_machine.Timing.total) < 1e-12);
+  Alcotest.check_raises "overlap range"
+    (Invalid_argument "Timing.predict_with_latency: overlap must be in [0,1]")
+    (fun () -> ignore (t 1.5))
+
+let suites =
+  [ ( "core.table",
+      [ Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "formatters" `Quick test_table_formatters ] );
+    ( "core.balance",
+      [ Alcotest.test_case "machine row" `Quick test_machine_balance_row;
+        Alcotest.test_case "ratios and bound" `Quick test_ratios_and_bound ] );
+    ( "core.experiments",
+      [ Alcotest.test_case "all run" `Slow test_all_experiments_run;
+        Alcotest.test_case "fig4 contents" `Quick test_fig4_table_contents;
+        Alcotest.test_case "fig3 shape" `Slow test_fig3_shape;
+        Alcotest.test_case "fig8 band" `Slow test_fig8_speedup_band;
+        Alcotest.test_case "sp band" `Slow test_sp_utilisation_band ] );
+    ( "core.advisor",
+      [ Alcotest.test_case "fig7 diagnosis" `Slow test_advisor_fig7;
+        Alcotest.test_case "quiet when nothing helps" `Quick test_advisor_quiet_when_nothing_helps;
+        Alcotest.test_case "suggests tiling for mm" `Slow test_advisor_suggests_tiling_for_mm ] );
+    ( "machine.latency",
+      [ Alcotest.test_case "latency tolerance model" `Quick test_latency_model ] );
+    ( "transform.regroup",
+      [ Alcotest.test_case "candidates" `Quick test_regroup_candidates;
+        Alcotest.test_case "semantics" `Quick test_regroup_semantics;
+        Alcotest.test_case "locality" `Quick test_regroup_improves_locality;
+        Alcotest.test_case "rejects live-out" `Quick test_regroup_rejects_live_out;
+        Alcotest.test_case "rejects mismatched init" `Quick test_regroup_rejects_mismatched_init ] )
+  ]

@@ -1,0 +1,214 @@
+open Bw_fusion
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let fig4_graph n = Fusion_graph.build (Bw_workloads.Fig4.program ~n)
+
+(* --- Fusion graph construction ------------------------------------------- *)
+
+let test_fig4_graph_shape () =
+  let g = fig4_graph 32 in
+  check int "seven nodes (6 loops + print)" 7 (Fusion_graph.node_count g);
+  check bool "5-6 preventing" true (Fusion_graph.prevents g 4 5);
+  check bool "1-2 fusable" false (Fusion_graph.prevents g 0 1);
+  check bool "print prevents" true (Fusion_graph.prevents g 5 6);
+  (* loop 5 depends on nothing; loop 6 depends on loops 4 and 5 *)
+  check bool "dep 4->6... loop4 -> loop6 via b" true
+    (Bw_graph.Digraph.mem_edge g.Fusion_graph.deps 3 5);
+  check bool "dep 5->6 via sum" true
+    (Bw_graph.Digraph.mem_edge g.Fusion_graph.deps 4 5);
+  check bool "loop5 has no incoming deps" true
+    (Bw_graph.Digraph.in_degree g.Fusion_graph.deps 4 = 0)
+
+let test_fig4_unfused_cost () =
+  let g = fig4_graph 32 in
+  (* the paper: without fusion the six loops access 20 arrays *)
+  check int "20 array loads" 20 (Cost.bandwidth_cost g (Cost.unfused g))
+
+(* --- Two-partitioning ------------------------------------------------------ *)
+
+let test_fig4_two_partition () =
+  let g = fig4_graph 32 in
+  let split =
+    Bandwidth_minimal.two_partition g ~within:[ 0; 1; 2; 3; 4; 5 ] ~s:5 ~t:4
+  in
+  check Alcotest.(list int) "loop 5 alone, first" [ 4 ]
+    split.Bandwidth_minimal.first;
+  check Alcotest.(list int) "the rest" [ 0; 1; 2; 3; 5 ]
+    split.Bandwidth_minimal.second;
+  check Alcotest.(list string) "cut = {a}" [ "a" ]
+    split.Bandwidth_minimal.cut_arrays
+
+(* --- Multi-partitioning ----------------------------------------------------- *)
+
+let test_fig4_multi_partition () =
+  let g = fig4_graph 32 in
+  let plan = Bandwidth_minimal.multi_partition g in
+  (match Cost.validate g plan with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* the paper's optimum: 7 array loads (plus the costless print) *)
+  check int "bandwidth cost 7" 7 (Cost.bandwidth_cost g plan)
+
+let test_fig4_exhaustive_agrees () =
+  let g = fig4_graph 32 in
+  let exact = Bandwidth_minimal.exhaustive g in
+  check int "optimal is 7" 7 (Cost.bandwidth_cost g exact)
+
+let test_fig4_edge_weighted_is_worse () =
+  let g = fig4_graph 32 in
+  (* optimal under the edge-weight objective... *)
+  let ew = Edge_weighted.exhaustive g in
+  check int "cross weight 2" 2 (Cost.edge_weight_cost g ew);
+  (* ...loads 8 arrays, one more than bandwidth-minimal *)
+  check int "bandwidth cost 8" 8 (Cost.bandwidth_cost g ew);
+  (* and the bandwidth-minimal plan has higher edge weight (3) *)
+  let bw = Bandwidth_minimal.exhaustive g in
+  check int "bw plan edge weight 3" 3 (Cost.edge_weight_cost g bw)
+
+let test_fig4_greedy_edge_weighted_valid () =
+  let g = fig4_graph 32 in
+  let plan = Edge_weighted.greedy_merge g in
+  match Cost.validate g plan with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_fuse_program_fig4 () =
+  let p = Bw_workloads.Fig4.program ~n:64 in
+  match Bandwidth_minimal.fuse_program p with
+  | Error e -> Alcotest.fail e
+  | Ok (p', plan) ->
+    check bool "fewer statements" true
+      (List.length p'.Bw_ir.Ast.body < List.length p.Bw_ir.Ast.body);
+    check bool "plan has >= 3 partitions" true (List.length plan >= 3);
+    let o1 = Bw_exec.Interp.run p and o2 = Bw_exec.Interp.run p' in
+    check bool "semantics preserved" true
+      (Bw_exec.Interp.equal_observation o1 o2)
+
+(* --- Random program stress -------------------------------------------------- *)
+
+(* Random stream programs: [loops] loops, each updating one of [arrays]
+   arrays from a random subset; a few scalar-reduction loops create
+   fusion-preventing structure. *)
+let random_program ~seed ~loops ~arrays =
+  let rng = Random.State.make [| seed; 77 |] in
+  let open Bw_ir.Builder in
+  let n = 64 in
+  let array_name k = Printf.sprintf "x%d" k in
+  let decls =
+    List.init arrays (fun k -> array ~init:(Init_hash k) (array_name k) [ n ])
+    @ [ scalar "acc" ]
+  in
+  let body =
+    List.init loops (fun _ ->
+        if Random.State.int rng 4 = 0 then
+          (* reduction loop over a random array; shares 'acc' *)
+          let a = array_name (Random.State.int rng arrays) in
+          for_ "i" (int 1) (int n)
+            [ sc "acc" <-- (v "acc" +: (a $ [ v "i" ])) ]
+        else begin
+          let target = array_name (Random.State.int rng arrays) in
+          let sources =
+            List.init (1 + Random.State.int rng 3) (fun _ ->
+                array_name (Random.State.int rng arrays))
+          in
+          let rhs =
+            List.fold_left
+              (fun acc a -> acc +: (a $ [ v "i" ]))
+              (target $ [ v "i" ])
+              sources
+          in
+          for_ "i" (int 1) (int n) [ (target $. [ v "i" ]) <-- rhs ]
+        end)
+  in
+  program
+    (Printf.sprintf "random%d" seed)
+    ~decls ~live_out:[ "acc" ]
+    (body @ [ print (v "acc") ])
+
+let test_multi_partition_never_beats_exhaustive () =
+  for seed = 1 to 12 do
+    let p = random_program ~seed ~loops:(4 + (seed mod 3)) ~arrays:4 in
+    let g = Fusion_graph.build p in
+    let heuristic = Bandwidth_minimal.multi_partition g in
+    let exact = Bandwidth_minimal.exhaustive g in
+    (match Cost.validate g heuristic with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d: %s" seed e);
+    let hc = Cost.bandwidth_cost g heuristic in
+    let ec = Cost.bandwidth_cost g exact in
+    check bool
+      (Printf.sprintf "seed %d: heuristic %d >= optimal %d" seed hc ec)
+      true (hc >= ec);
+    check bool
+      (Printf.sprintf "seed %d: heuristic %d <= unfused" seed hc)
+      true
+      (hc <= Cost.bandwidth_cost g (Cost.unfused g))
+  done
+
+let test_fused_random_programs_preserve_semantics () =
+  for seed = 1 to 8 do
+    let p = random_program ~seed ~loops:5 ~arrays:3 in
+    match Bandwidth_minimal.fuse_program p with
+    | Error e -> Alcotest.failf "seed %d: %s" seed e
+    | Ok (p', _) ->
+      let o1 = Bw_exec.Interp.run p and o2 = Bw_exec.Interp.run p' in
+      if not (Bw_exec.Interp.equal_observation o1 o2) then
+        Alcotest.failf "seed %d: semantics changed" seed
+  done
+
+(* --- Hyper_fusion / NP reduction ---------------------------------------------- *)
+
+let test_total_length_fig4 () =
+  let g = fig4_graph 32 in
+  let inst = Hyper_fusion.of_fusion_graph g in
+  check int "unfused length 20" 20
+    (Hyper_fusion.total_length inst (Cost.unfused g));
+  let exact = Bandwidth_minimal.exhaustive g in
+  check int "coincides with bandwidth cost" (Cost.bandwidth_cost g exact)
+    (Hyper_fusion.total_length inst exact)
+
+let test_kway_reduction_matches_exact () =
+  for seed = 1 to 10 do
+    let g =
+      Bw_graph.Graph_gen.undirected ~seed ~nodes:6 ~edge_prob:0.5 ~max_weight:3
+    in
+    let terminals = [ 0; 5 ] in
+    let via_fusion = Kway_reduction.optimal_cut_via_fusion g ~terminals in
+    let direct = (Bw_graph.Kway.exact g ~terminals).Bw_graph.Kway.value in
+    check int (Printf.sprintf "seed %d" seed) direct via_fusion
+  done
+
+let test_kway_reduction_three_terminals () =
+  for seed = 1 to 6 do
+    let g =
+      Bw_graph.Graph_gen.undirected ~seed:(seed + 50) ~nodes:6 ~edge_prob:0.6
+        ~max_weight:2
+    in
+    let terminals = [ 0; 2; 5 ] in
+    let via_fusion = Kway_reduction.optimal_cut_via_fusion g ~terminals in
+    let direct = (Bw_graph.Kway.exact g ~terminals).Bw_graph.Kway.value in
+    check int (Printf.sprintf "seed %d" seed) direct via_fusion
+  done
+
+let suites =
+  [ ( "fusion.graph",
+      [ Alcotest.test_case "fig4 shape" `Quick test_fig4_graph_shape;
+        Alcotest.test_case "fig4 unfused cost 20" `Quick test_fig4_unfused_cost ] );
+    ( "fusion.two_partition",
+      [ Alcotest.test_case "fig4 optimal split" `Quick test_fig4_two_partition ] );
+    ( "fusion.multi_partition",
+      [ Alcotest.test_case "fig4 heuristic cost 7" `Quick test_fig4_multi_partition;
+        Alcotest.test_case "fig4 exhaustive cost 7" `Quick test_fig4_exhaustive_agrees;
+        Alcotest.test_case "fig4 edge-weighted costs 8" `Quick test_fig4_edge_weighted_is_worse;
+        Alcotest.test_case "greedy edge-weighted valid" `Quick test_fig4_greedy_edge_weighted_valid;
+        Alcotest.test_case "fuse_program fig4" `Quick test_fuse_program_fig4;
+        Alcotest.test_case "heuristic vs exhaustive" `Slow test_multi_partition_never_beats_exhaustive;
+        Alcotest.test_case "random fusion semantics" `Slow test_fused_random_programs_preserve_semantics ] );
+    ( "fusion.np_reduction",
+      [ Alcotest.test_case "fig4 total length" `Quick test_total_length_fig4;
+        Alcotest.test_case "2-terminal round trip" `Quick test_kway_reduction_matches_exact;
+        Alcotest.test_case "3-terminal round trip" `Quick test_kway_reduction_three_terminals ] )
+  ]

@@ -1,0 +1,477 @@
+open Bw_graph
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let int_list = Alcotest.(list int)
+
+(* --- Digraph ------------------------------------------------------------ *)
+
+let test_digraph_basics () =
+  let g = Digraph.create () in
+  let a = Digraph.add_node g in
+  let b = Digraph.add_node g in
+  let c = Digraph.add_node g in
+  Digraph.add_edge g a b;
+  Digraph.add_edge g b c;
+  Digraph.add_edge g a b;
+  (* duplicate collapses *)
+  check int "nodes" 3 (Digraph.node_count g);
+  check int "edges" 2 (Digraph.edge_count g);
+  check bool "mem a->b" true (Digraph.mem_edge g a b);
+  check bool "mem b->a" false (Digraph.mem_edge g b a);
+  check int_list "succ a" [ b ] (Digraph.succ g a);
+  check int_list "pred c" [ b ] (Digraph.pred g c);
+  check int "out_degree a" 1 (Digraph.out_degree g a);
+  check int "in_degree b" 1 (Digraph.in_degree g b)
+
+let test_digraph_bounds () =
+  let g = Digraph.of_edges ~n:2 [ (0, 1) ] in
+  Alcotest.check_raises "bad node" (Invalid_argument "Digraph: node 5 out of range [0,2)")
+    (fun () -> ignore (Digraph.succ g 5))
+
+let test_digraph_reverse () =
+  let g = Digraph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let r = Digraph.reverse g in
+  check bool "reversed edge" true (Digraph.mem_edge r 1 0);
+  check bool "reversed edge 2" true (Digraph.mem_edge r 2 1);
+  check int "same edge count" 2 (Digraph.edge_count r)
+
+let test_digraph_copy_independent () =
+  let g = Digraph.of_edges ~n:2 [ (0, 1) ] in
+  let g' = Digraph.copy g in
+  Digraph.add_edge g' 1 0;
+  check bool "copy edge added" true (Digraph.mem_edge g' 1 0);
+  check bool "original untouched" false (Digraph.mem_edge g 1 0)
+
+let test_digraph_self_loop () =
+  let g = Digraph.of_edges ~n:1 [ (0, 0) ] in
+  check bool "self loop" true (Digraph.mem_edge g 0 0);
+  check int_list "succ includes self" [ 0 ] (Digraph.succ g 0)
+
+(* --- Topo ---------------------------------------------------------------- *)
+
+let valid_topo_order g order =
+  let pos = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.add pos v i) order;
+  List.length order = Digraph.node_count g
+  && Digraph.fold_edges g ~init:true ~f:(fun ok u v ->
+         ok && Hashtbl.find pos u < Hashtbl.find pos v)
+
+let test_topo_sort_dag () =
+  let g = Digraph.of_edges ~n:5 [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4) ] in
+  match Topo.sort g with
+  | None -> Alcotest.fail "expected a topological order"
+  | Some order -> check bool "valid order" true (valid_topo_order g order)
+
+let test_topo_sort_cycle () =
+  let g = Digraph.of_edges ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  check bool "cycle detected" true (Topo.sort g = None);
+  check bool "not acyclic" false (Topo.is_acyclic g)
+
+let test_scc () =
+  (* two 2-cycles and an isolated node *)
+  let g =
+    Digraph.of_edges ~n:5 [ (0, 1); (1, 0); (2, 3); (3, 2); (1, 2) ]
+  in
+  let comps = Topo.scc g |> List.map (List.sort compare) in
+  let sorted = List.sort compare comps in
+  check
+    Alcotest.(list (list int))
+    "components" [ [ 0; 1 ]; [ 2; 3 ]; [ 4 ] ] sorted
+
+let test_scc_ordering () =
+  (* Tarjan returns reverse topological order of the condensation. *)
+  let g = Digraph.of_edges ~n:4 [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2) ] in
+  match Topo.scc g with
+  | [ first; second ] ->
+    check int_list "sink component first" [ 2; 3 ] (List.sort compare first);
+    check int_list "source component last" [ 0; 1 ] (List.sort compare second)
+  | other ->
+    Alcotest.failf "expected two components, got %d" (List.length other)
+
+let test_reachable () =
+  let g = Digraph.of_edges ~n:4 [ (0, 1); (1, 2) ] in
+  let r = Topo.reachable g 0 in
+  check bool "reaches 2" true r.(2);
+  check bool "does not reach 3" false r.(3);
+  check bool "has_path" true (Topo.has_path g 0 2);
+  check bool "no path back" false (Topo.has_path g 2 0)
+
+let test_transitive_closure () =
+  let g = Digraph.of_edges ~n:3 [ (0, 1); (1, 2) ] in
+  let m = Topo.transitive_closure g in
+  check bool "0->2" true m.(0).(2);
+  check bool "2->0" false m.(2).(0);
+  check bool "self" true m.(1).(1)
+
+(* --- Flow ----------------------------------------------------------------- *)
+
+let clrs_network () =
+  (* CLRS Figure 26.1: max flow 23 from 0 to 5. *)
+  let net = Flow.create 6 in
+  let e = Flow.add_edge net in
+  ignore (e ~src:0 ~dst:1 ~cap:16);
+  ignore (e ~src:0 ~dst:2 ~cap:13);
+  ignore (e ~src:1 ~dst:3 ~cap:12);
+  ignore (e ~src:2 ~dst:1 ~cap:4);
+  ignore (e ~src:2 ~dst:4 ~cap:14);
+  ignore (e ~src:3 ~dst:2 ~cap:9);
+  ignore (e ~src:3 ~dst:5 ~cap:20);
+  ignore (e ~src:4 ~dst:3 ~cap:7);
+  ignore (e ~src:4 ~dst:5 ~cap:4);
+  net
+
+let test_flow_clrs () =
+  let net = clrs_network () in
+  check int "dinic value" 23 (Flow.max_flow net ~s:0 ~t:5);
+  check int "edmonds-karp value" 23 (Flow.max_flow_edmonds_karp net ~s:0 ~t:5)
+
+let test_flow_disconnected () =
+  let net = Flow.create 4 in
+  ignore (Flow.add_edge net ~src:0 ~dst:1 ~cap:5);
+  ignore (Flow.add_edge net ~src:2 ~dst:3 ~cap:5);
+  check int "no path" 0 (Flow.max_flow net ~s:0 ~t:3)
+
+let test_flow_min_cut_consistent () =
+  let net = clrs_network () in
+  let value, side, cut = Flow.min_cut net ~s:0 ~t:5 in
+  check int "cut value" 23 value;
+  check bool "s on source side" true side.(0);
+  check bool "t on sink side" false side.(5);
+  let cut_cap =
+    List.fold_left (fun acc id -> let _, _, c = Flow.arc net id in acc + c) 0 cut
+  in
+  check int "cut capacity = flow" 23 cut_cap
+
+let test_flow_parallel_edges () =
+  let net = Flow.create 2 in
+  ignore (Flow.add_edge net ~src:0 ~dst:1 ~cap:3);
+  ignore (Flow.add_edge net ~src:0 ~dst:1 ~cap:4);
+  check int "parallel arcs accumulate" 7 (Flow.max_flow net ~s:0 ~t:1)
+
+let test_flow_dinic_equals_ek_random () =
+  (* Independent implementations agree on random networks. *)
+  for seed = 1 to 25 do
+    let rng = Random.State.make [| seed |] in
+    let n = 2 + Random.State.int rng 8 in
+    let net = Flow.create n in
+    let arcs = Random.State.int rng 20 in
+    for _ = 1 to arcs do
+      let u = Random.State.int rng n and v = Random.State.int rng n in
+      if u <> v then
+        ignore (Flow.add_edge net ~src:u ~dst:v ~cap:(Random.State.int rng 10))
+    done;
+    let d = Flow.max_flow net ~s:0 ~t:(n - 1) in
+    let ek = Flow.max_flow_edmonds_karp net ~s:0 ~t:(n - 1) in
+    check int (Printf.sprintf "seed %d" seed) ek d
+  done
+
+(* --- Vertex cut ----------------------------------------------------------- *)
+
+let test_vertex_cut_diamond () =
+  (* s=0 - {1,2} - t=3: both middle vertices must be cut. *)
+  let g = Undirected.create () in
+  Undirected.ensure_nodes g 4;
+  Undirected.add_edge g 0 1;
+  Undirected.add_edge g 0 2;
+  Undirected.add_edge g 1 3;
+  Undirected.add_edge g 2 3;
+  let r = Vertex_cut.min_cut g ~weight:(fun _ -> 1) ~s:0 ~t:3 in
+  check int "value" 2 r.Vertex_cut.value;
+  check int_list "cut" [ 1; 2 ] r.Vertex_cut.cut
+
+let test_vertex_cut_path () =
+  let g = Undirected.create () in
+  Undirected.ensure_nodes g 4;
+  Undirected.add_edge g 0 1;
+  Undirected.add_edge g 1 2;
+  Undirected.add_edge g 2 3;
+  let r = Vertex_cut.min_cut g ~weight:(fun _ -> 1) ~s:0 ~t:3 in
+  check int "value" 1 r.Vertex_cut.value;
+  check int "single cut vertex" 1 (List.length r.Vertex_cut.cut)
+
+let test_vertex_cut_weighted () =
+  (* Two disjoint paths: one through heavy vertex 1, one through light
+     vertices 2,4: cutting 1 (weight 5) vs cutting 2 (weight 1). *)
+  let g = Undirected.create () in
+  Undirected.ensure_nodes g 5;
+  Undirected.add_edge g 0 1;
+  Undirected.add_edge g 1 3;
+  Undirected.add_edge g 0 2;
+  Undirected.add_edge g 2 4;
+  Undirected.add_edge g 4 3;
+  let weight = function 1 -> 5 | _ -> 1 in
+  let r = Vertex_cut.min_cut g ~weight ~s:0 ~t:3 in
+  (* must cut both paths: vertex 1 (5) + one of {2,4} (1) = 6 *)
+  check int "value" 6 r.Vertex_cut.value
+
+let test_vertex_cut_inseparable () =
+  let g = Undirected.create () in
+  Undirected.ensure_nodes g 2;
+  Undirected.add_edge g 0 1;
+  Alcotest.check_raises "adjacent terminals" Vertex_cut.Inseparable (fun () ->
+      ignore (Vertex_cut.min_cut g ~weight:(fun _ -> 1) ~s:0 ~t:1))
+
+let test_vertex_cut_disconnected () =
+  let g = Undirected.create () in
+  Undirected.ensure_nodes g 2;
+  let r = Vertex_cut.min_cut g ~weight:(fun _ -> 1) ~s:0 ~t:1 in
+  check int "empty cut" 0 r.Vertex_cut.value
+
+(* --- Undirected ------------------------------------------------------------ *)
+
+let test_undirected_components () =
+  let g = Undirected.create () in
+  Undirected.ensure_nodes g 5;
+  Undirected.add_edge g 0 1;
+  Undirected.add_edge g 3 4;
+  let comps = Undirected.components g in
+  check Alcotest.(list (list int)) "components" [ [ 0; 1 ]; [ 2 ]; [ 3; 4 ] ] comps
+
+let test_undirected_weights () =
+  let g = Undirected.create () in
+  Undirected.ensure_nodes g 2;
+  Undirected.add_edge ~weight:7 g 0 1;
+  check int "weight" 7 (Undirected.weight g 0 1);
+  check int "weight symmetric" 7 (Undirected.weight g 1 0)
+
+(* --- Hypergraph ------------------------------------------------------------ *)
+
+let test_hypergraph_basics () =
+  let h = Hypergraph.create () in
+  Hypergraph.ensure_nodes h 4;
+  let e1 = Hypergraph.add_edge ~label:"A" h [ 0; 1; 2 ] in
+  let e2 = Hypergraph.add_edge ~label:"B" h [ 2; 3 ] in
+  check int_list "edge nodes" [ 0; 1; 2 ] (Hypergraph.edge_nodes h e1);
+  check bool "overlap" true (Hypergraph.edges_overlap h e1 e2);
+  check bool "mem" true (Hypergraph.edge_mem h e1 1);
+  check bool "not mem" false (Hypergraph.edge_mem h e2 0);
+  check int_list "edges of node 2" [ e1; e2 ] (Hypergraph.edges_of_node h 2);
+  check (Alcotest.option Alcotest.string) "label" (Some "A")
+    (Hypergraph.edge_label h e1)
+
+let test_hypergraph_connected_without () =
+  let h = Hypergraph.create () in
+  Hypergraph.ensure_nodes h 4;
+  let e1 = Hypergraph.add_edge h [ 0; 1 ] in
+  let _e2 = Hypergraph.add_edge h [ 1; 2 ] in
+  let _e3 = Hypergraph.add_edge h [ 2; 3 ] in
+  let all = Hypergraph.connected_without h ~removed:[] 0 in
+  check bool "fully connected" true (all.(3));
+  let cutoff = Hypergraph.connected_without h ~removed:[ e1 ] 0 in
+  check bool "0 isolated" false cutoff.(1)
+
+(* --- Hyper_cut -------------------------------------------------------------- *)
+
+(* The Figure 4 instance: loops 1..6 are nodes 0..5; arrays are
+   hyper-edges.  The minimum cut between loop 5 (node 4) and loop 6
+   (node 5) removes only array A. *)
+let figure4_hypergraph () =
+  let h = Hypergraph.create () in
+  Hypergraph.ensure_nodes h 6;
+  let a = Hypergraph.add_edge ~label:"A" h [ 0; 1; 2; 4 ] in
+  let b = Hypergraph.add_edge ~label:"B" h [ 3; 5 ] in
+  let c = Hypergraph.add_edge ~label:"C" h [ 3; 5 ] in
+  let d = Hypergraph.add_edge ~label:"D" h [ 0; 1; 2; 3 ] in
+  let e = Hypergraph.add_edge ~label:"E" h [ 0; 1; 2; 3 ] in
+  let f = Hypergraph.add_edge ~label:"F" h [ 0; 1; 2; 3 ] in
+  (h, a, b, c, d, e, f)
+
+let test_hyper_cut_figure4 () =
+  let h, a, _, _, _, _, _ = figure4_hypergraph () in
+  let r = Hyper_cut.min_cut h ~s:4 ~t:5 in
+  check int "cut value" 1 r.Hyper_cut.value;
+  check int_list "cut = {A}" [ a ] r.Hyper_cut.cut;
+  check int_list "partition 1 = {loop5}" [ 4 ] r.Hyper_cut.part1;
+  check int_list "partition 2" [ 0; 1; 2; 3; 5 ] r.Hyper_cut.part2
+
+let test_hyper_cut_chain () =
+  let h = Hypergraph.create () in
+  Hypergraph.ensure_nodes h 3;
+  let _a = Hypergraph.add_edge h [ 0; 1 ] in
+  let b = Hypergraph.add_edge h [ 1; 2 ] in
+  let r = Hyper_cut.min_cut h ~s:0 ~t:2 in
+  check int "value" 1 r.Hyper_cut.value;
+  check bool "cut is one of the two edges" true
+    (r.Hyper_cut.cut = [ 0 ] || r.Hyper_cut.cut = [ b ])
+
+let test_hyper_cut_disconnected () =
+  let h = Hypergraph.create () in
+  Hypergraph.ensure_nodes h 2;
+  let r = Hyper_cut.min_cut h ~s:0 ~t:1 in
+  check int "no cut needed" 0 r.Hyper_cut.value;
+  check int_list "empty" [] r.Hyper_cut.cut
+
+let test_hyper_cut_shared_edge () =
+  (* s and t inside one hyper-edge: that edge must fall. *)
+  let h = Hypergraph.create () in
+  Hypergraph.ensure_nodes h 3;
+  let a = Hypergraph.add_edge h [ 0; 1; 2 ] in
+  let r = Hyper_cut.min_cut h ~s:0 ~t:2 in
+  check int "value" 1 r.Hyper_cut.value;
+  check int_list "cut" [ a ] r.Hyper_cut.cut
+
+(* Brute-force oracle: minimum cut by enumerating edge subsets in
+   increasing size order. *)
+let brute_force_min_cut h ~s ~t =
+  let m = Hypergraph.edge_count h in
+  let rec subsets_of_size k from =
+    if k = 0 then [ [] ]
+    else if from >= m then []
+    else
+      List.map (fun rest -> from :: rest) (subsets_of_size (k - 1) (from + 1))
+      @ subsets_of_size k (from + 1)
+  in
+  let disconnects removed =
+    let side = Hypergraph.connected_without h ~removed s in
+    not side.(t)
+  in
+  let rec go k =
+    if k > m then m
+    else if List.exists disconnects (subsets_of_size k 0) then k
+    else go (k + 1)
+  in
+  go 0
+
+let test_hyper_cut_matches_brute_force () =
+  for seed = 1 to 30 do
+    let h =
+      Graph_gen.hypergraph ~seed ~nodes:6 ~edges:(3 + (seed mod 5)) ~max_arity:4
+    in
+    let r = Hyper_cut.min_cut h ~s:0 ~t:5 in
+    let expected = brute_force_min_cut h ~s:0 ~t:5 in
+    check int (Printf.sprintf "seed %d optimal" seed) expected r.Hyper_cut.value;
+    (* the returned cut really disconnects *)
+    let side = Hypergraph.connected_without h ~removed:r.Hyper_cut.cut 0 in
+    check bool (Printf.sprintf "seed %d separates" seed) false side.(5)
+  done
+
+(* --- Kway -------------------------------------------------------------------- *)
+
+let test_kway_triangle () =
+  (* Triangle with unit weights, all three vertices terminals: every edge
+     joins two terminals directly, so all three must be removed. *)
+  let g = Undirected.create () in
+  Undirected.ensure_nodes g 3;
+  Undirected.add_edge g 0 1;
+  Undirected.add_edge g 1 2;
+  Undirected.add_edge g 0 2;
+  let exact = Kway.exact g ~terminals:[ 0; 1; 2 ] in
+  check int "exact" 3 exact.Kway.value;
+  let iso = Kway.isolation g ~terminals:[ 0; 1; 2 ] in
+  check bool "isolation >= exact" true (iso.Kway.value >= exact.Kway.value);
+  check bool "isolation valid" true
+    (Kway.cut_value g iso.Kway.assignment <= iso.Kway.value)
+
+let test_kway_star () =
+  (* Star: centre 4 connected to terminals 0..3; must cut 3 edges. *)
+  let g = Undirected.create () in
+  Undirected.ensure_nodes g 5;
+  List.iter (fun t -> Undirected.add_edge g 4 t) [ 0; 1; 2; 3 ];
+  let exact = Kway.exact g ~terminals:[ 0; 1; 2; 3 ] in
+  check int "exact star" 3 exact.Kway.value
+
+let test_kway_exact_separates () =
+  for seed = 1 to 15 do
+    let g = Graph_gen.undirected ~seed ~nodes:7 ~edge_prob:0.4 ~max_weight:3 in
+    let terminals = [ 0; 6 ] in
+    let r = Kway.exact g ~terminals in
+    check int
+      (Printf.sprintf "seed %d assignment consistent" seed)
+      r.Kway.value
+      (Kway.cut_value g r.Kway.assignment)
+  done
+
+let test_kway_isolation_upper_bounds () =
+  for seed = 1 to 15 do
+    let g = Graph_gen.undirected ~seed ~nodes:7 ~edge_prob:0.5 ~max_weight:2 in
+    let terminals = [ 0; 3; 6 ] in
+    let exact = Kway.exact g ~terminals in
+    let iso = Kway.isolation g ~terminals in
+    check bool
+      (Printf.sprintf "seed %d iso >= exact" seed)
+      true
+      (iso.Kway.value >= exact.Kway.value);
+    (* isolation heuristic guarantee: within 2 - 2/k of optimal *)
+    check bool
+      (Printf.sprintf "seed %d iso within bound" seed)
+      true
+      (float_of_int iso.Kway.value
+      <= (2.0 *. float_of_int (max 1 exact.Kway.value)) +. 1e-9)
+  done
+
+(* --- QCheck properties -------------------------------------------------------- *)
+
+let qcheck_cases =
+  let open QCheck in
+  [ Test.make ~name:"topo order respects all edges" ~count:100
+      (pair small_nat (pair small_nat small_nat))
+      (fun (seed, (n_raw, _)) ->
+        let nodes = 2 + (n_raw mod 10) in
+        let g = Graph_gen.dag ~seed ~nodes ~edge_prob:0.3 in
+        match Topo.sort g with
+        | None -> false
+        | Some order -> valid_topo_order g order);
+    Test.make ~name:"scc of a DAG is all singletons" ~count:100 small_nat
+      (fun seed ->
+        let g = Graph_gen.dag ~seed ~nodes:8 ~edge_prob:0.3 in
+        Topo.scc g |> List.for_all (fun c -> List.length c = 1));
+    Test.make ~name:"hyper cut always separates" ~count:50 small_nat
+      (fun seed ->
+        let h = Graph_gen.hypergraph ~seed ~nodes:8 ~edges:8 ~max_arity:4 in
+        let r = Hyper_cut.min_cut h ~s:0 ~t:7 in
+        let side = Hypergraph.connected_without h ~removed:r.Hyper_cut.cut 0 in
+        not side.(7));
+    Test.make ~name:"min cut value is symmetric in s,t" ~count:50 small_nat
+      (fun seed ->
+        let h = Graph_gen.hypergraph ~seed ~nodes:7 ~edges:7 ~max_arity:3 in
+        let a = Hyper_cut.min_cut h ~s:0 ~t:6 in
+        let b = Hyper_cut.min_cut h ~s:6 ~t:0 in
+        a.Hyper_cut.value = b.Hyper_cut.value) ]
+
+let suites =
+  [ ( "graph.digraph",
+      [ Alcotest.test_case "basics" `Quick test_digraph_basics;
+        Alcotest.test_case "bounds checking" `Quick test_digraph_bounds;
+        Alcotest.test_case "reverse" `Quick test_digraph_reverse;
+        Alcotest.test_case "copy independence" `Quick test_digraph_copy_independent;
+        Alcotest.test_case "self loop" `Quick test_digraph_self_loop ] );
+    ( "graph.topo",
+      [ Alcotest.test_case "sort dag" `Quick test_topo_sort_dag;
+        Alcotest.test_case "sort cycle" `Quick test_topo_sort_cycle;
+        Alcotest.test_case "scc" `Quick test_scc;
+        Alcotest.test_case "scc ordering" `Quick test_scc_ordering;
+        Alcotest.test_case "reachable" `Quick test_reachable;
+        Alcotest.test_case "transitive closure" `Quick test_transitive_closure ] );
+    ( "graph.flow",
+      [ Alcotest.test_case "CLRS instance" `Quick test_flow_clrs;
+        Alcotest.test_case "disconnected" `Quick test_flow_disconnected;
+        Alcotest.test_case "min cut consistency" `Quick test_flow_min_cut_consistent;
+        Alcotest.test_case "parallel edges" `Quick test_flow_parallel_edges;
+        Alcotest.test_case "dinic = edmonds-karp" `Quick test_flow_dinic_equals_ek_random ] );
+    ( "graph.vertex_cut",
+      [ Alcotest.test_case "diamond" `Quick test_vertex_cut_diamond;
+        Alcotest.test_case "path" `Quick test_vertex_cut_path;
+        Alcotest.test_case "weighted" `Quick test_vertex_cut_weighted;
+        Alcotest.test_case "inseparable" `Quick test_vertex_cut_inseparable;
+        Alcotest.test_case "disconnected" `Quick test_vertex_cut_disconnected ] );
+    ( "graph.undirected",
+      [ Alcotest.test_case "components" `Quick test_undirected_components;
+        Alcotest.test_case "weights" `Quick test_undirected_weights ] );
+    ( "graph.hypergraph",
+      [ Alcotest.test_case "basics" `Quick test_hypergraph_basics;
+        Alcotest.test_case "connected_without" `Quick test_hypergraph_connected_without ] );
+    ( "graph.hyper_cut",
+      [ Alcotest.test_case "figure 4 instance" `Quick test_hyper_cut_figure4;
+        Alcotest.test_case "chain" `Quick test_hyper_cut_chain;
+        Alcotest.test_case "disconnected" `Quick test_hyper_cut_disconnected;
+        Alcotest.test_case "shared edge" `Quick test_hyper_cut_shared_edge;
+        Alcotest.test_case "matches brute force" `Slow test_hyper_cut_matches_brute_force ] );
+    ( "graph.kway",
+      [ Alcotest.test_case "triangle" `Quick test_kway_triangle;
+        Alcotest.test_case "star" `Quick test_kway_star;
+        Alcotest.test_case "exact separates" `Quick test_kway_exact_separates;
+        Alcotest.test_case "isolation bounds" `Quick test_kway_isolation_upper_bounds ] );
+    ("graph.properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_cases)
+  ]
