@@ -2,24 +2,18 @@
 
    Default run: regenerate every table/figure of the paper's evaluation
    (the experiment drivers of Bw_core.Experiments) and print them.
+   Table generation fans out across domains (Bw_core.Harness) but the
+   output order — and the table contents — match a serial run exactly.
 
      dune exec bench/main.exe                 -- all tables, full scale
      dune exec bench/main.exe -- --quick      -- all tables, small scale
      dune exec bench/main.exe -- --table fig3 -- one table
+     dune exec bench/main.exe -- --jobs 4     -- cap the worker domains
+     dune exec bench/main.exe -- --json       -- also write BENCH_results.json
      dune exec bench/main.exe -- --micro      -- Bechamel micro-benchmarks
                                                  of the core algorithms *)
 
-let tables ~scale ~only =
-  List.iter
-    (fun (id, f) ->
-      match only with
-      | Some w when w <> id -> ()
-      | _ ->
-        let t0 = Sys.time () in
-        let table = f ?scale:(Some scale) () in
-        Format.printf "%a" Bw_core.Table.render table;
-        Format.printf "(generated in %.1f s)@.@." (Sys.time () -. t0))
-    Bw_core.Experiments.all
+let json_path = "BENCH_results.json"
 
 (* --- Bechamel micro-benchmarks -------------------------------------------- *)
 
@@ -86,7 +80,8 @@ let micro_tests () =
   [ cache_streaming; interp_sum; compiled_sum; simulate_kernel; hyper_cut;
     fusion_plan; strategy_pipeline; parse_program ]
 
-let run_micro () =
+(* Run the micro suite and return sorted (name, ns/run) estimates. *)
+let micro_estimates () =
   let open Bechamel in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
@@ -98,13 +93,20 @@ let run_micro () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let measured = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  Format.printf "== micro-benchmarks (monotonic clock, ns/run) ==@.";
   Hashtbl.fold (fun name result acc -> (name, result) :: acc) measured []
   |> List.sort compare
-  |> List.iter (fun (name, result) ->
+  |> List.filter_map (fun (name, result) ->
          match Analyze.OLS.estimates result with
-         | Some [ est ] -> Format.printf "%-50s %12.0f ns@." name est
-         | _ -> Format.printf "%-50s (no estimate)@." name)
+         | Some [ est ] -> Some (name, est)
+         | _ -> None)
+
+let print_micro estimates =
+  Format.printf "== micro-benchmarks (monotonic clock, ns/run) ==@.";
+  List.iter
+    (fun (name, est) -> Format.printf "%-50s %12.0f ns@." name est)
+    estimates
+
+(* --- entry point ---------------------------------------------------------- *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -117,9 +119,57 @@ let () =
     in
     go args
   in
-  if has "--micro" then run_micro ()
+  let json = has "--json" in
+  let micro =
+    if has "--micro" || json then begin
+      let estimates = micro_estimates () in
+      print_micro estimates;
+      estimates
+    end
+    else []
+  in
+  if has "--micro" && not json then ()
   else begin
     let scale = if has "--quick" then 1 else 2 in
     let only = value_of "--table" in
-    tables ~scale ~only
+    let experiments =
+      match only with
+      | None -> Bw_core.Experiments.all
+      | Some w -> List.filter (fun (id, _) -> id = w) Bw_core.Experiments.all
+    in
+    (match (only, experiments) with
+    | Some w, [] ->
+      Format.eprintf "no experiment named %S; known ids:@." w;
+      List.iter
+        (fun (id, _) -> Format.eprintf "  %s@." id)
+        Bw_core.Experiments.all;
+      exit 1
+    | _ -> ());
+    let jobs =
+      match value_of "--jobs" with
+      | Some j -> (
+        match int_of_string_opt j with
+        | Some j when j >= 1 -> j
+        | _ ->
+          Format.eprintf "--jobs expects a positive integer, got %S@." j;
+          exit 1)
+      | None -> min (Bw_core.Harness.default_jobs ()) (List.length experiments)
+    in
+    let outcomes = Bw_core.Harness.run ~jobs ~scale experiments in
+    List.iter
+      (fun o ->
+        print_string o.Bw_core.Harness.body;
+        Format.printf "(generated in %.1f s)@.@." o.Bw_core.Harness.seconds)
+      outcomes;
+    if json then begin
+      let doc =
+        Bw_core.Harness.json_of_results ~scale ~jobs ~micro outcomes
+      in
+      let oc = open_out json_path in
+      output_string oc (Bw_core.Bench_json.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "wrote %s (%d tables, %d micro estimates)@." json_path
+        (List.length outcomes) (List.length micro)
+    end
   end

@@ -1,0 +1,74 @@
+type outcome = { id : string; title : string; body : string; seconds : float }
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let render_one ~scale (id, table_fn) =
+  let t0 = Unix.gettimeofday () in
+  let table = table_fn ?scale:(Some scale) () in
+  let body = Table.to_string table in
+  let seconds = Unix.gettimeofday () -. t0 in
+  { id; title = table.Table.title; body; seconds }
+
+let run ?jobs ?(scale = 1) experiments =
+  let n = List.length experiments in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> min (default_jobs ()) n
+  in
+  if jobs <= 1 || n <= 1 then List.map (render_one ~scale) experiments
+  else begin
+    let inputs = Array.of_list experiments in
+    let results = Array.make n None in
+    (* Work-stealing by atomic counter: domains grab the next unclaimed
+       index, so a slow table (fig5 dominates) doesn't serialise the
+       rest.  Each slot is written by exactly one domain, and the joins
+       below publish the writes before we read them. *)
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (render_one ~scale inputs.(i));
+          go ()
+        end
+      in
+      go ()
+    in
+    let domains =
+      Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join domains;
+    Array.to_list results
+    |> List.map (function
+         | Some r -> r
+         | None -> failwith "Harness.run: missing result")
+  end
+
+let json_of_results ~scale ~jobs ~micro outcomes =
+  Bench_json.Obj
+    [
+      ("schema_version", Bench_json.Int 1);
+      ("scale", Bench_json.Int scale);
+      ("jobs", Bench_json.Int jobs);
+      ( "tables",
+        Bench_json.List
+          (List.map
+             (fun o ->
+               Bench_json.Obj
+                 [
+                   ("id", Bench_json.String o.id);
+                   ("title", Bench_json.String o.title);
+                   ("seconds", Bench_json.Float o.seconds);
+                 ])
+             outcomes) );
+      ( "micro",
+        Bench_json.List
+          (List.map
+             (fun (name, ns) ->
+               Bench_json.Obj
+                 [
+                   ("name", Bench_json.String name);
+                   ("ns_per_run", Bench_json.Float ns);
+                 ])
+             micro) );
+    ]

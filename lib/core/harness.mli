@@ -1,0 +1,41 @@
+(** Multicore experiment driver.
+
+    Generating every table in {!Experiments.all} is embarrassingly
+    parallel — each table builds its own programs, machines and caches
+    and shares nothing mutable — so the harness fans the table thunks
+    out across OCaml 5 domains.  Results come back in the order the
+    experiments were given, regardless of which domain finished first,
+    so the rendered report is byte-identical to a serial run. *)
+
+type outcome = {
+  id : string;  (** stable experiment id, e.g. ["fig3"] *)
+  title : string;  (** the rendered table's title line *)
+  body : string;  (** the fully rendered table text *)
+  seconds : float;  (** wall-clock seconds to generate this table *)
+}
+
+(** [run ?jobs ?scale experiments] renders each [(id, table_fn)] pair,
+    fanning out over [jobs] domains (default:
+    [Domain.recommended_domain_count ()], capped at the number of
+    experiments).  [jobs <= 1] runs everything inline on the calling
+    domain.  The result list preserves the input order. *)
+val run :
+  ?jobs:int ->
+  ?scale:int ->
+  (string * (?scale:int -> unit -> Table.t)) list ->
+  outcome list
+
+(** The default worker count [run] uses when [?jobs] is omitted. *)
+val default_jobs : unit -> int
+
+(** [json_of_results ~scale ~jobs ~micro outcomes] builds the
+    [BENCH_results.json] document: schema version, run parameters,
+    per-table wall-clock seconds, and micro-benchmark estimates as
+    [(name, ns_per_run)] pairs (empty when the micro suite was not
+    run). *)
+val json_of_results :
+  scale:int ->
+  jobs:int ->
+  micro:(string * float) list ->
+  outcome list ->
+  Bench_json.t

@@ -35,6 +35,16 @@ let find_var ctx name =
   | Some v -> v
   | None -> fail "undeclared variable '%s'" name
 
+(* [a[i]] with a 1-D array and a loop-index subscript is by far the most
+   executed reference shape; recognise it so the whole access — index
+   read, bounds check, flat offset — is one closure instead of a chain
+   of three.  Returns the index cell when the shape matches. *)
+let index_cell_1d ctx var idxs =
+  match idxs with
+  | [ Scalar s ] when Array.length var.dims = 1 ->
+    Hashtbl.find_opt ctx.indices s
+  | _ -> None
+
 (* static type of an expression, used to pick the compilation scheme *)
 let rec typeof ctx = function
   | Int_lit _ -> I64
@@ -54,7 +64,18 @@ let compile_offset var idx_closures =
   let n = Array.length dims in
   if Array.length idx_closures <> n then
     fail "array '%s': wrong subscript count" var.decl.var_name;
-  fun () ->
+  if n = 1 then begin
+    (* the common case; stride 0 is always 1 in column-major order *)
+    let d0 = dims.(0) and c0 = idx_closures.(0) in
+    let name = var.decl.var_name in
+    fun () ->
+      let idx = c0 () in
+      if idx < 1 || idx > d0 then
+        fail "array '%s': subscript 1 = %d out of bounds [1,%d]" name idx d0;
+      idx - 1
+  end
+  else
+    fun () ->
     let offset = ref 0 in
     for k = 0 to n - 1 do
       let idx = idx_closures.(k) () in
@@ -78,30 +99,41 @@ let rec compile_int ctx e : unit -> int =
       | F_data _ -> fail "scalar '%s' is not an integer" s))
   | Element (a, idxs) -> (
     let var = find_var ctx a in
-    let offset =
-      compile_offset var
-        (Array.of_list (List.map (compile_int ctx) idxs))
-    in
-    let sink = ctx.sink in
+    let trace = ctx.sink.Interp.trace in
     let base = var.base in
     match var.data with
-    | I_data data ->
-      fun () ->
-        let o = offset () in
-        sink.Interp.on_load ~addr:(base + (o * 8)) ~bytes:8;
-        data.(o)
+    | I_data data -> (
+      match index_cell_1d ctx var idxs with
+      | Some cell ->
+        let d0 = var.dims.(0) in
+        fun () ->
+          let idx = !cell in
+          if idx < 1 || idx > d0 then
+            fail "array '%s': subscript 1 = %d out of bounds [1,%d]" a idx d0;
+          let o = idx - 1 in
+          Bw_machine.Trace_buffer.load trace ~addr:(base + (o * 8)) ~bytes:8;
+          Array.unsafe_get data o
+      | None ->
+        let offset =
+          compile_offset var
+            (Array.of_list (List.map (compile_int ctx) idxs))
+        in
+        fun () ->
+          let o = offset () in
+          Bw_machine.Trace_buffer.load trace ~addr:(base + (o * 8)) ~bytes:8;
+          Array.unsafe_get data o)
     | F_data _ -> fail "array '%s' is not an integer array" a)
   | Unary (Neg, x) ->
     let cx = compile_int ctx x in
     let sink = ctx.sink in
     fun () ->
-      sink.Interp.on_int_op 1;
+      sink.Interp.int_ops <- sink.Interp.int_ops + 1;
       -cx ()
   | Unary (Abs, x) ->
     let cx = compile_int ctx x in
     let sink = ctx.sink in
     fun () ->
-      sink.Interp.on_int_op 1;
+      sink.Interp.int_ops <- sink.Interp.int_ops + 1;
       abs (cx ())
   | Binary (op, a, b) ->
     let ca = compile_int ctx a and cb = compile_int ctx b in
@@ -119,7 +151,7 @@ let rec compile_int ctx e : unit -> int =
       | Max -> max
     in
     fun () ->
-      sink.Interp.on_int_op 1;
+      sink.Interp.int_ops <- sink.Interp.int_ops + 1;
       f (ca ()) (cb ())
   | Float_lit _ | Unary ((Sqrt | Int_to_float), _) | Call _ ->
     fail "expected an integer expression"
@@ -134,47 +166,56 @@ let rec compile_float ctx e : unit -> float =
     | I_data _ -> fail "scalar '%s' is not a float" s)
   | Element (a, idxs) -> (
     let var = find_var ctx a in
-    let offset =
-      compile_offset var
-        (Array.of_list (List.map (compile_int ctx) idxs))
-    in
-    let sink = ctx.sink in
+    let trace = ctx.sink.Interp.trace in
     let base = var.base in
     match var.data with
-    | F_data data ->
-      fun () ->
-        let o = offset () in
-        sink.Interp.on_load ~addr:(base + (o * 8)) ~bytes:8;
-        data.(o)
+    | F_data data -> (
+      match index_cell_1d ctx var idxs with
+      | Some cell ->
+        let d0 = var.dims.(0) in
+        fun () ->
+          let idx = !cell in
+          if idx < 1 || idx > d0 then
+            fail "array '%s': subscript 1 = %d out of bounds [1,%d]" a idx d0;
+          let o = idx - 1 in
+          Bw_machine.Trace_buffer.load trace ~addr:(base + (o * 8)) ~bytes:8;
+          Array.unsafe_get data o
+      | None ->
+        let offset =
+          compile_offset var
+            (Array.of_list (List.map (compile_int ctx) idxs))
+        in
+        fun () ->
+          let o = offset () in
+          Bw_machine.Trace_buffer.load trace ~addr:(base + (o * 8)) ~bytes:8;
+          Array.unsafe_get data o)
     | I_data _ -> fail "array '%s' is not a float array" a)
   | Unary (Neg, x) ->
     let cx = compile_float ctx x in
     let sink = ctx.sink in
     fun () ->
-      sink.Interp.on_flop 1;
+      sink.Interp.flops <- sink.Interp.flops + 1;
       -.cx ()
   | Unary (Abs, x) ->
     let cx = compile_float ctx x in
     let sink = ctx.sink in
     fun () ->
-      sink.Interp.on_flop 1;
+      sink.Interp.flops <- sink.Interp.flops + 1;
       Float.abs (cx ())
   | Unary (Sqrt, x) ->
     let cx = compile_float ctx x in
     let sink = ctx.sink in
     fun () ->
-      sink.Interp.on_flop 1;
+      sink.Interp.flops <- sink.Interp.flops + 1;
       sqrt (cx ())
   | Unary (Int_to_float, x) ->
     let cx = compile_int ctx x in
     let sink = ctx.sink in
     fun () ->
-      sink.Interp.on_int_op 1;
+      sink.Interp.int_ops <- sink.Interp.int_ops + 1;
       float_of_int (cx ())
   | Binary (Mod, _, _) -> fail "mod of floats"
   | Binary (op, a, b) ->
-    let ca = compile_float ctx a and cb = compile_float ctx b in
-    let sink = ctx.sink in
     let f =
       match op with
       | Add -> ( +. )
@@ -185,15 +226,33 @@ let rec compile_float ctx e : unit -> float =
       | Max -> Float.max
       | Mod -> assert false
     in
-    fun () ->
-      sink.Interp.on_flop 1;
-      f (ca ()) (cb ())
+    let sink = ctx.sink in
+    (* constant operands skip a closure call per evaluation; note the
+       generic case evaluates [b] before [a] (OCaml argument order), so
+       the specialisations must not reorder any effects — a literal has
+       none *)
+    (match (a, b) with
+    | _, Float_lit y ->
+      let ca = compile_float ctx a in
+      fun () ->
+        sink.Interp.flops <- sink.Interp.flops + 1;
+        f (ca ()) y
+    | Float_lit x, _ ->
+      let cb = compile_float ctx b in
+      fun () ->
+        sink.Interp.flops <- sink.Interp.flops + 1;
+        f x (cb ())
+    | _ ->
+      let ca = compile_float ctx a and cb = compile_float ctx b in
+      fun () ->
+        sink.Interp.flops <- sink.Interp.flops + 1;
+        f (ca ()) (cb ()))
   | Call (name, args) ->
     let cargs = List.map (compile_float ctx) args in
     let sink = ctx.sink in
     fun () ->
       let xs = List.map (fun c -> c ()) cargs in
-      sink.Interp.on_flop 1;
+      sink.Interp.flops <- sink.Interp.flops + 1;
       Interp.intrinsic name xs
   | Int_lit _ -> fail "expected a float expression"
 
@@ -241,26 +300,50 @@ let compile_store ctx lv : (unit -> unit) * [ `F of float ref | `I of int ref ]
       ((fun () -> a.(0) <- !cell), `I cell))
   | Lelement (a, idxs) -> (
     let var = find_var ctx a in
-    let offset =
-      compile_offset var
-        (Array.of_list (List.map (compile_int ctx) idxs))
-    in
-    let sink = ctx.sink in
+    let trace = ctx.sink.Interp.trace in
     let base = var.base in
-    match var.data with
-    | F_data data ->
+    match (var.data, index_cell_1d ctx var idxs) with
+    | F_data data, Some icell ->
+      let d0 = var.dims.(0) in
+      let cell = ref 0.0 in
+      ( (fun () ->
+          let idx = !icell in
+          if idx < 1 || idx > d0 then
+            fail "array '%s': subscript 1 = %d out of bounds [1,%d]" a idx d0;
+          let o = idx - 1 in
+          Bw_machine.Trace_buffer.store trace ~addr:(base + (o * 8)) ~bytes:8;
+          Array.unsafe_set data o !cell),
+        `F cell )
+    | I_data data, Some icell ->
+      let d0 = var.dims.(0) in
+      let cell = ref 0 in
+      ( (fun () ->
+          let idx = !icell in
+          if idx < 1 || idx > d0 then
+            fail "array '%s': subscript 1 = %d out of bounds [1,%d]" a idx d0;
+          let o = idx - 1 in
+          Bw_machine.Trace_buffer.store trace ~addr:(base + (o * 8)) ~bytes:8;
+          Array.unsafe_set data o !cell),
+        `I cell )
+    | F_data data, None ->
+      let offset =
+        compile_offset var (Array.of_list (List.map (compile_int ctx) idxs))
+      in
       let cell = ref 0.0 in
       ( (fun () ->
           let o = offset () in
-          sink.Interp.on_store ~addr:(base + (o * 8)) ~bytes:8;
-          data.(o) <- !cell),
+          Bw_machine.Trace_buffer.store trace ~addr:(base + (o * 8)) ~bytes:8;
+          Array.unsafe_set data o !cell),
         `F cell )
-    | I_data data ->
+    | I_data data, None ->
+      let offset =
+        compile_offset var (Array.of_list (List.map (compile_int ctx) idxs))
+      in
       let cell = ref 0 in
       ( (fun () ->
           let o = offset () in
-          sink.Interp.on_store ~addr:(base + (o * 8)) ~bytes:8;
-          data.(o) <- !cell),
+          Bw_machine.Trace_buffer.store trace ~addr:(base + (o * 8)) ~bytes:8;
+          Array.unsafe_set data o !cell),
         `I cell ))
 
 let lvalue_dtype ctx = function
@@ -268,6 +351,39 @@ let lvalue_dtype ctx = function
 
 let rec compile_stmt ctx stmt : unit -> unit =
   match stmt with
+  | Assign (Lelement (a, idxs), e)
+    when (let var = find_var ctx a in
+          index_cell_1d ctx var idxs <> None) -> (
+    (* fused store for the dominant [a[i] = ...] shape: value, index
+       read, bounds check, trace record and array write in one closure.
+       Same effect order as the generic path: the right-hand side is
+       fully evaluated before the subscript is checked. *)
+    let var = find_var ctx a in
+    let icell = Option.get (index_cell_1d ctx var idxs) in
+    let d0 = var.dims.(0) in
+    let trace = ctx.sink.Interp.trace in
+    let base = var.base in
+    match var.data with
+    | F_data data ->
+      let ce = compile_float ctx e in
+      fun () ->
+        let x = ce () in
+        let idx = !icell in
+        if idx < 1 || idx > d0 then
+          fail "array '%s': subscript 1 = %d out of bounds [1,%d]" a idx d0;
+        let o = idx - 1 in
+        Bw_machine.Trace_buffer.store trace ~addr:(base + (o * 8)) ~bytes:8;
+        Array.unsafe_set data o x
+    | I_data data ->
+      let ce = compile_int ctx e in
+      fun () ->
+        let x = ce () in
+        let idx = !icell in
+        if idx < 1 || idx > d0 then
+          fail "array '%s': subscript 1 = %d out of bounds [1,%d]" a idx d0;
+        let o = idx - 1 in
+        Bw_machine.Trace_buffer.store trace ~addr:(base + (o * 8)) ~bytes:8;
+        Array.unsafe_set data o x)
   | Assign (lv, e) -> (
     let store, cell = compile_store ctx lv in
     match (lvalue_dtype ctx lv, cell) with
@@ -332,10 +448,15 @@ let rec compile_stmt ctx stmt : unit -> unit =
       done
 
 and compile_stmts ctx stmts : unit -> unit =
-  let compiled = Array.of_list (List.map (compile_stmt ctx) stmts) in
-  fun () -> Array.iter (fun f -> f ()) compiled
+  match List.map (compile_stmt ctx) stmts with
+  | [] -> fun () -> ()
+  | [ f ] -> f (* single-statement bodies skip the dispatch loop *)
+  | fs ->
+    let compiled = Array.of_list fs in
+    fun () -> Array.iter (fun f -> f ()) compiled
 
-let run ?(sink = Interp.null_sink) ?base_of (program : program) =
+let run ?sink ?base_of (program : program) =
+  let sink = match sink with Some s -> s | None -> Interp.discard_sink () in
   Bw_ir.Check.check_exn program;
   let base_of =
     match base_of with
@@ -358,18 +479,8 @@ let run ?(sink = Interp.null_sink) ?base_of (program : program) =
       let size = decl_size d in
       let data =
         match d.dtype with
-        | F64 ->
-          F_data
-            (Array.init size (fun k ->
-                 match Interp.init_value d.init F64 k with
-                 | Interp.V_float x -> x
-                 | Interp.V_int _ -> assert false))
-        | I64 ->
-          I_data
-            (Array.init size (fun k ->
-                 match Interp.init_value d.init I64 k with
-                 | Interp.V_int x -> x
-                 | Interp.V_float _ -> assert false))
+        | F64 -> F_data (Interp.init_float_array d.init size)
+        | I64 -> I_data (Interp.init_int_array d.init size)
       in
       Hashtbl.add vars d.var_name
         { decl = d;
@@ -383,18 +494,23 @@ let run ?(sink = Interp.null_sink) ?base_of (program : program) =
   in
   let main = compile_stmts ctx program.body in
   main ();
-  let finals =
+  (* capture the (now final) storage; box only if someone forces *)
+  let live =
     List.filter_map
       (fun d ->
         if List.mem d.var_name program.live_out then
-          let var = Hashtbl.find vars d.var_name in
-          let values =
-            match var.data with
-            | F_data a -> Array.map (fun x -> Interp.V_float x) a
-            | I_data a -> Array.map (fun n -> Interp.V_int n) a
-          in
-          Some (d.var_name, values)
+          Some (d.var_name, (Hashtbl.find vars d.var_name).data)
         else None)
       program.decls
+  in
+  let finals =
+    lazy
+      (List.map
+         (fun (name, data) ->
+           ( name,
+             match data with
+             | F_data a -> Array.map (fun x -> Interp.V_float x) a
+             | I_data a -> Array.map (fun n -> Interp.V_int n) a ))
+         live)
   in
   { Interp.prints = List.rev ctx.prints; finals }

@@ -12,7 +12,10 @@ let pp_value ppf = function
 
 type observation = {
   prints : value list;
-  finals : (string * value array) list;
+  (* lazy: boxing every element of every live-out array is a large
+     fraction of a short run, and pure-simulation consumers never look
+     at the values — only the differential tests force them *)
+  finals : (string * value array) list Lazy.t;
 }
 
 let equal_value a b =
@@ -30,15 +33,16 @@ let close_value tol a b =
   | V_int _, V_float _ | V_float _, V_int _ -> false
 
 let equal_observation_gen eq a b =
+  let fa = Lazy.force a.finals and fb = Lazy.force b.finals in
   List.length a.prints = List.length b.prints
   && List.for_all2 eq a.prints b.prints
-  && List.length a.finals = List.length b.finals
+  && List.length fa = List.length fb
   && List.for_all2
        (fun (n1, v1) (n2, v2) ->
          n1 = n2
          && Array.length v1 = Array.length v2
          && Array.for_all2 eq v1 v2)
-       a.finals b.finals
+       fa fb
 
 let equal_observation a b = equal_observation_gen equal_value a b
 let close_observation ?(tol = 1e-9) a b = equal_observation_gen (close_value tol) a b
@@ -53,21 +57,26 @@ let pp_observation ppf o =
         (fun i v -> if i < 4 then Format.fprintf ppf " %a" pp_value v)
         vs;
       if Array.length vs > 4 then Format.fprintf ppf " ...")
-    o.finals;
+    (Lazy.force o.finals);
   Format.fprintf ppf "@]"
 
 type sink = {
-  on_load : addr:int -> bytes:int -> unit;
-  on_store : addr:int -> bytes:int -> unit;
-  on_flop : int -> unit;
-  on_int_op : int -> unit;
+  trace : Bw_machine.Trace_buffer.t;
+  mutable flops : int;
+  mutable int_ops : int;
 }
 
-let null_sink =
-  { on_load = (fun ~addr:_ ~bytes:_ -> ());
-    on_store = (fun ~addr:_ ~bytes:_ -> ());
-    on_flop = (fun _ -> ());
-    on_int_op = (fun _ -> ()) }
+let make_sink ?capacity ~on_trace () =
+  { trace = Bw_machine.Trace_buffer.create ?capacity ~on_full:on_trace ();
+    flops = 0;
+    int_ops = 0 }
+
+let discard_sink () =
+  (* records are dropped on overflow (Trace_buffer resets after on_full)
+     and by flush; only the flop/int-op tallies survive *)
+  make_sink ~capacity:4096 ~on_trace:(fun _ -> ()) ()
+
+let flush_sink s = Bw_machine.Trace_buffer.flush s.trace
 
 (* --- storage ------------------------------------------------------------ *)
 
@@ -83,7 +92,7 @@ type var = {
 }
 
 (* Deterministic pseudo-random floats for Init_hash and read() inputs. *)
-let hash_float seed k =
+let[@inline] hash_float seed k =
   let z = ref ((k * 0x9e3779b9) + (seed * 0x85ebca6b) + 0x165667b1) in
   z := (!z lxor (!z lsr 30)) * 0x1ce4e5b9bf58476d;
   z := (!z lxor (!z lsr 27)) * 0x133111eb94d049bb;
@@ -102,20 +111,50 @@ let rec init_value init dtype k =
     if lanes <= 0 then fail "Init_lanes: non-positive lane count"
     else init_value inner dt (k / lanes)
 
+(* Unboxed bulk versions of [init_value]: same formulas element for
+   element, but filling a flat array directly instead of allocating a
+   [value] per element.  Array init is a visible fraction of short
+   simulations, so both engines use these. *)
+let init_float_array init size =
+  match init with
+  | Init_zero -> Array.make size 0.0
+  | Init_linear (a, b) ->
+    let arr = Array.make size 0.0 in
+    for k = 0 to size - 1 do
+      Array.unsafe_set arr k (a +. (b *. float_of_int k))
+    done;
+    arr
+  | Init_hash seed ->
+    let arr = Array.make size 0.0 in
+    for k = 0 to size - 1 do
+      Array.unsafe_set arr k (hash_float seed k)
+    done;
+    arr
+  | Init_lanes _ ->
+    Array.init size (fun k ->
+        match init_value init F64 k with
+        | V_float x -> x
+        | V_int _ -> assert false)
+
+let init_int_array init size =
+  match init with
+  | Init_zero -> Array.make size 0
+  | Init_hash seed ->
+    let arr = Array.make size 0 in
+    for k = 0 to size - 1 do
+      Array.unsafe_set arr k (int_of_float (hash_float seed k *. 1e6))
+    done;
+    arr
+  | Init_linear _ | Init_lanes _ ->
+    Array.init size (fun k ->
+        match init_value init I64 k with
+        | V_int n -> n
+        | V_float _ -> assert false)
+
 let make_storage d =
   match d.dtype with
-  | F64 ->
-    F_data
-      (Array.init (decl_size d) (fun k ->
-           match init_value d.init F64 k with
-           | V_float x -> x
-           | V_int _ -> assert false))
-  | I64 ->
-    I_data
-      (Array.init (decl_size d) (fun k ->
-           match init_value d.init I64 k with
-           | V_int n -> n
-           | V_float _ -> assert false))
+  | F64 -> F_data (init_float_array d.init (decl_size d))
+  | I64 -> I_data (init_int_array d.init (decl_size d))
 
 let column_major_strides dims =
   let n = List.length dims in
@@ -200,7 +239,8 @@ let rec eval env e : value =
       List.map (fun ie -> as_int "subscript" (eval env ie)) idx_exprs
     in
     let offset = offset_of env var idxs in
-    env.sink.on_load ~addr:(element_addr var offset)
+    Bw_machine.Trace_buffer.load env.sink.trace
+      ~addr:(element_addr var offset)
       ~bytes:(dtype_bytes var.decl.dtype);
     read_storage var offset
   | Unary (op, a) -> eval_unary env op (eval env a)
@@ -214,36 +254,36 @@ let rec eval env e : value =
           | V_int _ -> fail "integer argument to intrinsic '%s'" f)
         args
     in
-    env.sink.on_flop 1;
+    env.sink.flops <- env.sink.flops + 1;
     V_float (intrinsic f xs)
 
 and eval_unary env op v =
   match (op, v) with
   | Neg, V_int n ->
-    env.sink.on_int_op 1;
+    env.sink.int_ops <- env.sink.int_ops + 1;
     V_int (-n)
   | Neg, V_float x ->
-    env.sink.on_flop 1;
+    env.sink.flops <- env.sink.flops + 1;
     V_float (-.x)
   | Abs, V_int n ->
-    env.sink.on_int_op 1;
+    env.sink.int_ops <- env.sink.int_ops + 1;
     V_int (abs n)
   | Abs, V_float x ->
-    env.sink.on_flop 1;
+    env.sink.flops <- env.sink.flops + 1;
     V_float (Float.abs x)
   | Sqrt, V_float x ->
-    env.sink.on_flop 1;
+    env.sink.flops <- env.sink.flops + 1;
     V_float (sqrt x)
   | Sqrt, V_int _ -> fail "sqrt of an integer"
   | Int_to_float, V_int n ->
-    env.sink.on_int_op 1;
+    env.sink.int_ops <- env.sink.int_ops + 1;
     V_float (float_of_int n)
   | Int_to_float, V_float _ -> fail "float() of a float"
 
 and eval_binary env op a b =
   match (a, b) with
   | V_int x, V_int y ->
-    env.sink.on_int_op 1;
+    env.sink.int_ops <- env.sink.int_ops + 1;
     V_int
       (match op with
       | Add -> x + y
@@ -254,7 +294,7 @@ and eval_binary env op a b =
       | Min -> min x y
       | Max -> max x y)
   | V_float x, V_float y ->
-    env.sink.on_flop 1;
+    env.sink.flops <- env.sink.flops + 1;
     V_float
       (match op with
       | Add -> x +. y
@@ -301,7 +341,8 @@ let assign_lvalue env lv v =
       List.map (fun ie -> as_int "subscript" (eval env ie)) idx_exprs
     in
     let offset = offset_of env var idxs in
-    env.sink.on_store ~addr:(element_addr var offset)
+    Bw_machine.Trace_buffer.store env.sink.trace
+      ~addr:(element_addr var offset)
       ~bytes:(dtype_bytes var.decl.dtype);
     write_storage var offset v
 
@@ -341,7 +382,8 @@ let rec exec env stmt =
     done;
     Hashtbl.remove env.indices index
 
-let run ?(sink = null_sink) ?base_of (program : program) =
+let run ?sink ?base_of (program : program) =
+  let sink = match sink with Some s -> s | None -> discard_sink () in
   Bw_ir.Check.check_exn program;
   let base_of =
     match base_of with
@@ -377,18 +419,23 @@ let run ?(sink = null_sink) ?base_of (program : program) =
       prints = [] }
   in
   List.iter (exec env) program.body;
-  let finals =
+  (* capture the (now final) storage; box only if someone forces *)
+  let live =
     List.filter_map
       (fun d ->
         if List.mem d.var_name program.live_out then
-          let var = Hashtbl.find vars d.var_name in
-          let values =
-            match var.data with
-            | F_data a -> Array.map (fun x -> V_float x) a
-            | I_data a -> Array.map (fun n -> V_int n) a
-          in
-          Some (d.var_name, values)
+          Some (d.var_name, (Hashtbl.find vars d.var_name).data)
         else None)
       program.decls
+  in
+  let finals =
+    lazy
+      (List.map
+         (fun (name, data) ->
+           ( name,
+             match data with
+             | F_data a -> Array.map (fun x -> V_float x) a
+             | I_data a -> Array.map (fun n -> V_int n) a ))
+         live)
   in
   { prints = List.rev env.prints; finals }

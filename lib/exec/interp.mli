@@ -24,9 +24,11 @@ val pp_value : Format.formatter -> value -> unit
 
 type observation = {
   prints : value list;
-  finals : (string * value array) list;
+  finals : (string * value array) list Lazy.t;
       (** final contents of each [live_out] variable, in declaration
-          order; scalars are singleton arrays *)
+          order; scalars are singleton arrays.  Lazy: forcing boxes a
+          {!value} per element, a significant cost on large arrays that
+          pure-simulation consumers never pay *)
 }
 
 (** Exact structural equality of observations. *)
@@ -38,14 +40,30 @@ val close_observation : ?tol:float -> observation -> observation -> bool
 
 val pp_observation : Format.formatter -> observation -> unit
 
+(** Destination of the machine-event stream.  Loads and stores are
+    appended to a preallocated {!Bw_machine.Trace_buffer} with plain int
+    writes — the engines pay no closure call per memory reference — and
+    the buffer's [on_full] handler consumes them in batches.  Flop and
+    integer-op tallies are plain mutable counters. *)
 type sink = {
-  on_load : addr:int -> bytes:int -> unit;
-  on_store : addr:int -> bytes:int -> unit;
-  on_flop : int -> unit;
-  on_int_op : int -> unit;
+  trace : Bw_machine.Trace_buffer.t;
+  mutable flops : int;
+  mutable int_ops : int;
 }
 
-val null_sink : sink
+(** [make_sink ~on_trace ()] builds a sink whose trace buffer drains
+    through [on_trace] (on overflow and on {!flush_sink}). *)
+val make_sink :
+  ?capacity:int -> on_trace:(Bw_machine.Trace_buffer.t -> unit) -> unit -> sink
+
+(** A sink that discards memory events but still tallies flops/int ops.
+    Fresh per call: sinks are single-owner mutable state, so sharing one
+    across concurrent runs (e.g. domains) would race. *)
+val discard_sink : unit -> sink
+
+(** Drain any events still buffered in the sink's trace.  Run after the
+    engine returns — the last partial batch lives here. *)
+val flush_sink : sink -> unit
 
 (** [run ?sink ?base_of program] executes [program] (which must pass
     {!Bw_ir.Check.check}; the interpreter re-checks and raises
@@ -68,6 +86,15 @@ val intrinsic : string -> float list -> float
 
 (** [init_value init dtype k] is the initial value of element [k]. *)
 val init_value : Bw_ir.Ast.init -> Bw_ir.Ast.dtype -> int -> value
+
+(** Bulk unboxed initialisation: [init_float_array init size] equals
+    [Array.init size (fun k -> init_value init F64 k)] element for
+    element, without boxing a {!value} per element.  Shared by both
+    execution engines so their storage is bit-identical. *)
+val init_float_array : Bw_ir.Ast.init -> int -> float array
+
+(** Integer counterpart of {!init_float_array}. *)
+val init_int_array : Bw_ir.Ast.init -> int -> int array
 
 (** [input_value counter dtype] is the [counter]-th [read()] value. *)
 val input_value : int -> Bw_ir.Ast.dtype -> value

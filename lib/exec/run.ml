@@ -8,6 +8,41 @@ type result = {
   breakdown : Timing.breakdown;
 }
 
+let run_engine ~engine ~sink ?base_of program =
+  let observation =
+    match engine with
+    | `Compiled -> Compile.run ~sink ?base_of program
+    | `Interpreted -> Interp.run ~sink ?base_of program
+  in
+  Interp.flush_sink sink;
+  observation
+
+(* Drain one batch of trace records into the cache and the load/store
+   counters, applying address translation.  This is the simulation hot
+   loop: a tight walk over a flat int array, no per-record closure. *)
+let drain_into_cache ~translation ~cache ~counters buf =
+  let data = buf.Trace_buffer.data in
+  let n = buf.Trace_buffer.len in
+  let identity = Translate.is_identity translation in
+  let loads = ref 0 and stores = ref 0 in
+  for r = 0 to n - 1 do
+    let i = r * Trace_buffer.slot_width in
+    let kind = Array.unsafe_get data i in
+    let addr = Array.unsafe_get data (i + 1) in
+    let addr = if identity then addr else Translate.apply translation addr in
+    let bytes = Array.unsafe_get data (i + 2) in
+    if kind = 0 then begin
+      incr loads;
+      Cache.read cache ~addr ~bytes
+    end
+    else begin
+      incr stores;
+      Cache.write cache ~addr ~bytes
+    end
+  done;
+  counters.Counters.loads <- counters.Counters.loads + !loads;
+  counters.Counters.stores <- counters.Counters.stores + !stores
+
 let simulate ?(flush = true) ?(engine = `Compiled) ~machine
     (program : Bw_ir.Ast.program) =
   let layout =
@@ -24,45 +59,40 @@ let simulate ?(flush = true) ?(engine = `Compiled) ~machine
   let cache = Machine.fresh_cache machine in
   let counters = Counters.create () in
   let sink =
-    { Interp.on_load =
-        (fun ~addr ~bytes ->
-          counters.Counters.loads <- counters.Counters.loads + 1;
-          Cache.read cache ~addr:(Translate.apply translation addr) ~bytes);
-      on_store =
-        (fun ~addr ~bytes ->
-          counters.Counters.stores <- counters.Counters.stores + 1;
-          Cache.write cache ~addr:(Translate.apply translation addr) ~bytes);
-      on_flop = (fun n -> counters.Counters.flops <- counters.Counters.flops + n);
-      on_int_op =
-        (fun n -> counters.Counters.int_ops <- counters.Counters.int_ops + n) }
+    Interp.make_sink
+      ~on_trace:(drain_into_cache ~translation ~cache ~counters)
+      ()
   in
   let base_of name = Layout.base layout name in
-  let observation =
-    match engine with
-    | `Compiled -> Compile.run ~sink ~base_of program
-    | `Interpreted -> Interp.run ~sink ~base_of program
-  in
+  let observation = run_engine ~engine ~sink ~base_of program in
+  counters.Counters.flops <- sink.Interp.flops;
+  counters.Counters.int_ops <- sink.Interp.int_ops;
   if flush then Cache.flush cache;
   let breakdown = Timing.predict machine cache counters in
   { machine; observation; counters; cache; breakdown }
 
-let observe program =
+let observe ?(engine = `Compiled) program =
   let counters = Counters.create () in
   let sink =
-    { Interp.on_load =
-        (fun ~addr:_ ~bytes:_ ->
-          counters.Counters.loads <- counters.Counters.loads + 1);
-      on_store =
-        (fun ~addr:_ ~bytes:_ ->
-          counters.Counters.stores <- counters.Counters.stores + 1);
-      on_flop = (fun n -> counters.Counters.flops <- counters.Counters.flops + n);
-      on_int_op =
-        (fun n -> counters.Counters.int_ops <- counters.Counters.int_ops + n) }
+    Interp.make_sink
+      ~on_trace:(fun buf ->
+        let data = buf.Trace_buffer.data in
+        let n = buf.Trace_buffer.len in
+        let loads = ref 0 in
+        for r = 0 to n - 1 do
+          if Array.unsafe_get data (r * Trace_buffer.slot_width) = 0 then incr loads
+        done;
+        counters.Counters.loads <- counters.Counters.loads + !loads;
+        counters.Counters.stores <- counters.Counters.stores + (n - !loads))
+      ()
   in
-  let observation = Interp.run ~sink program in
+  let observation = run_engine ~engine ~sink program in
+  counters.Counters.flops <- sink.Interp.flops;
+  counters.Counters.int_ops <- sink.Interp.int_ops;
   (observation, counters)
 
-let reuse_profile ?(granularity = 32) (program : Bw_ir.Ast.program) =
+let reuse_profile ?(granularity = 32) ?(engine = `Compiled)
+    (program : Bw_ir.Ast.program) =
   let profile = Reuse.create ~granularity () in
   let layout =
     Layout.assign ~stagger_bytes:0
@@ -74,13 +104,16 @@ let reuse_profile ?(granularity = 32) (program : Bw_ir.Ast.program) =
          program.Bw_ir.Ast.decls)
   in
   let sink =
-    { Interp.on_load = (fun ~addr ~bytes:_ -> Reuse.access profile ~addr);
-      on_store = (fun ~addr ~bytes:_ -> Reuse.access profile ~addr);
-      on_flop = (fun _ -> ());
-      on_int_op = (fun _ -> ()) }
+    Interp.make_sink
+      ~on_trace:
+        (Trace_buffer.drain ~f:(fun _kind addr _bytes ->
+             Reuse.access profile ~addr))
+      ()
   in
   ignore
-    (Interp.run ~sink ~base_of:(fun name -> Layout.base layout name) program);
+    (run_engine ~engine ~sink
+       ~base_of:(fun name -> Layout.base layout name)
+       program);
   profile
 
 let effective_bandwidth r =

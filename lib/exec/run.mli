@@ -28,8 +28,12 @@ val simulate :
   result
 
 (** Execute for semantics only — no machine, no cache — returning the
-    observation and the CPU-side counters (flops/loads/stores). *)
-val observe : Bw_ir.Ast.program -> Interp.observation * Bw_machine.Counters.t
+    observation and the CPU-side counters (flops/loads/stores).
+    [engine] as in {!simulate} (default [`Compiled]). *)
+val observe :
+  ?engine:[ `Compiled | `Interpreted ] ->
+  Bw_ir.Ast.program ->
+  Interp.observation * Bw_machine.Counters.t
 
 (** Effective memory bandwidth of the run, in bytes/second: actual
     simulated memory traffic over predicted time. *)
@@ -54,4 +58,7 @@ val program_balance : result -> (string * float) list
     resulting curve predicts the miss ratio of any fully associative LRU
     cache — see {!Bw_machine.Reuse}. *)
 val reuse_profile :
-  ?granularity:int -> Bw_ir.Ast.program -> Bw_machine.Reuse.t
+  ?granularity:int ->
+  ?engine:[ `Compiled | `Interpreted ] ->
+  Bw_ir.Ast.program ->
+  Bw_machine.Reuse.t

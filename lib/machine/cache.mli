@@ -41,8 +41,17 @@ type write_policy =
 
 (** [create geometries] builds a hierarchy; the first geometry is the
     level closest to the CPU. The list may be empty (every access then
-    goes straight to memory). *)
-val create : ?write_policy:write_policy -> geometry list -> t
+    goes straight to memory).
+
+    [fast] (default [true]) selects the optimised access path: shift/mask
+    address splitting for power-of-two geometries, a per-level hot-line
+    memo that short-circuits consecutive accesses to the same line, and
+    an MRU-way probe ahead of the associativity scan.  [~fast:false]
+    keeps the straightforward div/mod reference model.  The two are
+    bit-identical in every counter (hits, misses, writebacks, memory
+    lines) — the property is enforced by the test suite — so [fast]
+    only trades simulation speed. *)
+val create : ?write_policy:write_policy -> ?fast:bool -> geometry list -> t
 
 val level_count : t -> int
 val geometry : t -> int -> geometry

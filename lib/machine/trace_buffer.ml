@@ -1,0 +1,60 @@
+(* Flat ring buffer of memory-reference records.  See trace_buffer.mli. *)
+
+let slot_width = 3
+
+type t = {
+  data : int array; (* slot_width ints per record: kind, addr, bytes *)
+  capacity : int; (* in records *)
+  mutable len : int;
+  mutable on_full : t -> unit;
+}
+
+let kind_load = 0
+let kind_store = 1
+
+(* Default sized so the flat array (capacity * 3 words) stays resident in
+   the host CPU's L1/L2 while still amortising the drain call: bigger
+   buffers measurably slow the simulator down because every record write
+   becomes a streaming store to cold memory. *)
+let create ?(capacity = 1_024) ~on_full () =
+  if capacity <= 0 then invalid_arg "Trace_buffer.create: capacity <= 0";
+  { data = Array.make (capacity * slot_width) 0; capacity; len = 0; on_full }
+
+let set_on_full t f = t.on_full <- f
+let length t = t.len
+let reset t = t.len <- 0
+
+let[@inline] record t kind addr bytes =
+  if t.len = t.capacity then begin
+    t.on_full t;
+    t.len <- 0
+  end;
+  let i = t.len * slot_width in
+  let data = t.data in
+  Array.unsafe_set data i kind;
+  Array.unsafe_set data (i + 1) addr;
+  Array.unsafe_set data (i + 2) bytes;
+  t.len <- t.len + 1
+
+let[@inline] load t ~addr ~bytes = record t kind_load addr bytes
+let[@inline] store t ~addr ~bytes = record t kind_store addr bytes
+
+let iter t ~f =
+  let data = t.data in
+  for r = 0 to t.len - 1 do
+    let i = r * slot_width in
+    f
+      (Array.unsafe_get data i)
+      (Array.unsafe_get data (i + 1))
+      (Array.unsafe_get data (i + 2))
+  done
+
+let drain t ~f =
+  iter t ~f;
+  t.len <- 0
+
+let flush t =
+  if t.len > 0 then begin
+    t.on_full t;
+    t.len <- 0
+  end

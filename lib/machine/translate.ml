@@ -25,6 +25,8 @@ let mix seed x =
   z := (!z lxor (!z lsr 27)) * 0x133111eb94d049bb;
   (!z lxor (!z lsr 31)) land max_int
 
+let is_identity t = !t = Identity
+
 let apply t addr =
   match !t with
   | Identity -> addr

@@ -19,5 +19,8 @@ val hashed : page_bytes:int -> seed:int -> t
 
 val apply : t -> int -> int
 
+(** True iff {!apply} is the identity — lets hot loops skip it wholesale. *)
+val is_identity : t -> bool
+
 (** Forget all established mappings (hashed only). *)
 val reset : t -> unit

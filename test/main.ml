@@ -3,4 +3,5 @@ let () =
     (Test_graph.suites @ Test_ir.suites @ Test_machine.suites
    @ Test_exec.suites @ Test_analysis.suites @ Test_transform.suites
    @ Test_workloads.suites @ Test_fusion.suites @ Test_core.suites
-   @ Test_reuse.suites @ Test_packing.suites @ Test_compile.suites @ Test_misc.suites)
+   @ Test_reuse.suites @ Test_packing.suites @ Test_compile.suites
+   @ Test_cache_equiv.suites @ Test_misc.suites)

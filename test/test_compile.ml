@@ -9,19 +9,20 @@ let int = Alcotest.int
 let counters_of run p =
   let c = Bw_machine.Counters.create () in
   let sink =
-    { Bw_exec.Interp.on_load =
-        (fun ~addr:_ ~bytes:_ ->
-          c.Bw_machine.Counters.loads <- c.Bw_machine.Counters.loads + 1);
-      on_store =
-        (fun ~addr:_ ~bytes:_ ->
-          c.Bw_machine.Counters.stores <- c.Bw_machine.Counters.stores + 1);
-      on_flop =
-        (fun n -> c.Bw_machine.Counters.flops <- c.Bw_machine.Counters.flops + n);
-      on_int_op =
-        (fun n ->
-          c.Bw_machine.Counters.int_ops <- c.Bw_machine.Counters.int_ops + n) }
+    Bw_exec.Interp.make_sink
+      ~on_trace:
+        (Bw_machine.Trace_buffer.drain ~f:(fun kind _addr _bytes ->
+             if kind = Bw_machine.Trace_buffer.kind_load then
+               c.Bw_machine.Counters.loads <- c.Bw_machine.Counters.loads + 1
+             else
+               c.Bw_machine.Counters.stores <-
+                 c.Bw_machine.Counters.stores + 1))
+      ()
   in
   let obs = run ~sink p in
+  Bw_exec.Interp.flush_sink sink;
+  c.Bw_machine.Counters.flops <- sink.Bw_exec.Interp.flops;
+  c.Bw_machine.Counters.int_ops <- sink.Bw_exec.Interp.int_ops;
   (obs, c)
 
 let differential name p =

@@ -278,6 +278,102 @@ let test_latency_model () =
     (Invalid_argument "Timing.predict_with_latency: overlap must be in [0,1]")
     (fun () -> ignore (t 1.5))
 
+(* --- Harness / bench JSON ------------------------------------------------- *)
+
+(* The --json output must parse and name every experiment table, without
+   paying for an actual full-scale run: build the document from fake
+   outcomes covering Experiments.all, round-trip it through the JSON
+   printer and parser, and check every table id survives. *)
+let test_bench_json_roundtrip () =
+  let module J = Bw_core.Bench_json in
+  let outcomes =
+    List.map
+      (fun (id, _) ->
+        { Bw_core.Harness.id;
+          title = "title of " ^ id;
+          body = "body\n";
+          seconds = 0.25
+        })
+      Bw_core.Experiments.all
+  in
+  let doc =
+    Bw_core.Harness.json_of_results ~scale:2 ~jobs:3
+      ~micro:[ ("micro cache: stream 64k accesses", 123456.7) ]
+      outcomes
+  in
+  let parsed = J.parse (J.to_string doc) in
+  check (Alcotest.option Alcotest.int) "schema_version" (Some 1)
+    (Option.bind (J.member "schema_version" parsed) (function
+      | J.Int i -> Some i
+      | _ -> None));
+  let ids_in_json =
+    match Option.bind (J.member "tables" parsed) J.to_list with
+    | None -> Alcotest.fail "tables is not a list"
+    | Some tables ->
+      List.filter_map
+        (fun t -> Option.bind (J.member "id" t) J.to_str)
+        tables
+  in
+  List.iter
+    (fun (id, _) ->
+      check bool (Printf.sprintf "table id %S present" id) true
+        (List.mem id ids_in_json))
+    Bw_core.Experiments.all;
+  check Alcotest.int "no extra tables" (List.length Bw_core.Experiments.all)
+    (List.length ids_in_json);
+  let seconds =
+    Option.bind (J.member "tables" parsed) J.to_list
+    |> Option.map (List.filter_map (fun t ->
+           Option.bind (J.member "seconds" t) J.to_float))
+  in
+  check (Alcotest.option (Alcotest.list (Alcotest.float 1e-9))) "seconds"
+    (Some (List.map (fun _ -> 0.25) outcomes))
+    seconds;
+  match Option.bind (J.member "micro" parsed) J.to_list with
+  | Some [ m ] ->
+    check (Alcotest.option Alcotest.string) "micro name"
+      (Some "micro cache: stream 64k accesses")
+      (Option.bind (J.member "name" m) J.to_str)
+  | _ -> Alcotest.fail "micro is not a one-element list"
+
+(* The harness must return results in input order even when racing
+   domains, and jobs=1 must behave identically. *)
+let test_harness_order () =
+  let mk id =
+    ( id,
+      fun ?scale () ->
+        ignore scale;
+        Bw_core.Table.make ~title:id ~header:[ "c" ] [ [ id ] ] )
+  in
+  let experiments = List.map mk [ "t1"; "t2"; "t3"; "t4"; "t5" ] in
+  let serial = Bw_core.Harness.run ~jobs:1 experiments in
+  let parallel = Bw_core.Harness.run ~jobs:4 experiments in
+  let ids results = List.map (fun o -> o.Bw_core.Harness.id) results in
+  check (Alcotest.list Alcotest.string) "serial order"
+    [ "t1"; "t2"; "t3"; "t4"; "t5" ] (ids serial);
+  check (Alcotest.list Alcotest.string) "parallel order" (ids serial)
+    (ids parallel);
+  List.iter2
+    (fun a b ->
+      check Alcotest.string "same body" a.Bw_core.Harness.body
+        b.Bw_core.Harness.body)
+    serial parallel
+
+let test_bench_json_parse_errors () =
+  let module J = Bw_core.Bench_json in
+  let fails s =
+    match J.parse s with
+    | exception J.Parse_error _ -> true
+    | _ -> false
+  in
+  check bool "trailing garbage" true (fails "{} x");
+  check bool "unterminated string" true (fails "\"abc");
+  check bool "bare word" true (fails "nope");
+  check Alcotest.string "escapes round-trip" "a\"b\\c\nd"
+    (match J.parse (J.to_string (J.String "a\"b\\c\nd")) with
+    | J.String s -> s
+    | _ -> Alcotest.fail "not a string")
+
 let suites =
   [ ( "core.table",
       [ Alcotest.test_case "render" `Quick test_table_render;
@@ -291,6 +387,13 @@ let suites =
         Alcotest.test_case "fig3 shape" `Slow test_fig3_shape;
         Alcotest.test_case "fig8 band" `Slow test_fig8_speedup_band;
         Alcotest.test_case "sp band" `Slow test_sp_utilisation_band ] );
+    ( "core.bench",
+      [ Alcotest.test_case "json round-trip covers all tables" `Quick
+          test_bench_json_roundtrip;
+        Alcotest.test_case "json parse errors" `Quick
+          test_bench_json_parse_errors;
+        Alcotest.test_case "harness deterministic order" `Quick
+          test_harness_order ] );
     ( "core.advisor",
       [ Alcotest.test_case "fig7 diagnosis" `Slow test_advisor_fig7;
         Alcotest.test_case "quiet when nothing helps" `Quick test_advisor_quiet_when_nothing_helps;

@@ -169,7 +169,7 @@ let test_live_out_snapshot () =
       |}
   in
   let obs = Interp.run p in
-  match obs.Interp.finals with
+  match Lazy.force obs.Interp.finals with
   | [ ("a", values) ] ->
     check int "length" 3 (Array.length values);
     check (Alcotest.float 1e-12) "a[2]" 4.0 (float_value values.(1))
@@ -337,7 +337,7 @@ let qcheck_cases =
       (int_range 1 200) (fun n ->
         let p = section21_read_loop n in
         let obs, _ = Run.observe p in
-        match obs.Interp.finals with
+        match Lazy.force obs.Interp.finals with
         | [ ("sum", [| Interp.V_float s |]) ] ->
           (* init linear(1.0, 0.001): sum = n + 0.001 * (0+..+n-1) *)
           let expected =

@@ -69,7 +69,7 @@ let test_init_lanes_semantics () =
       ~live_out:[ "g" ] []
   in
   let obs = Bw_exec.Interp.run p in
-  match obs.Bw_exec.Interp.finals with
+  match Lazy.force obs.Bw_exec.Interp.finals with
   | [ ("g", values) ] ->
     (* column-major: offsets 0..7 -> member offset k/2 = 0,0,1,1,... *)
     let f k =

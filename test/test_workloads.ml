@@ -52,7 +52,7 @@ let test_mm_known_product () =
   let n = 6 in
   let p = Kernels.mm ~order:Kernels.Jki ~n () in
   let obs = run p in
-  match obs.Bw_exec.Interp.finals with
+  match Lazy.force obs.Bw_exec.Interp.finals with
   | [ ("c", cells) ] ->
     check int "n*n cells" (n * n) (Array.length cells);
     (* every cell finite and nonzero *)
