@@ -10,10 +10,12 @@
      dune exec bench/main.exe -- --table fig3 -- one table
      dune exec bench/main.exe -- --jobs 4     -- cap the worker domains
      dune exec bench/main.exe -- --json       -- also write BENCH_results.json
+                                                 (per-table spans included)
+     dune exec bench/main.exe -- --out F.json -- write the JSON to F.json
      dune exec bench/main.exe -- --micro      -- Bechamel micro-benchmarks
                                                  of the core algorithms *)
 
-let json_path = "BENCH_results.json"
+let default_json_path = "BENCH_results.json"
 
 (* --- Bechamel micro-benchmarks -------------------------------------------- *)
 
@@ -119,7 +121,10 @@ let () =
     in
     go args
   in
-  let json = has "--json" in
+  let json = has "--json" || value_of "--out" <> None in
+  let json_path =
+    Option.value (value_of "--out") ~default:default_json_path
+  in
   let micro =
     if has "--micro" || json then begin
       let estimates = micro_estimates () in
@@ -155,21 +160,30 @@ let () =
           exit 1)
       | None -> min (Bw_core.Harness.default_jobs ()) (List.length experiments)
     in
+    (* Per-table spans ride along in the JSON document; tracing stays
+       off for plain text runs so the tables themselves are unperturbed. *)
+    if json then begin
+      Bw_obs.Trace.reset ();
+      Bw_obs.Trace.set_enabled true
+    end;
     let outcomes = Bw_core.Harness.run ~jobs ~scale experiments in
+    Bw_obs.Trace.set_enabled false;
     List.iter
       (fun o ->
         print_string o.Bw_core.Harness.body;
         Format.printf "(generated in %.1f s)@.@." o.Bw_core.Harness.seconds)
       outcomes;
     if json then begin
+      let trace = Bw_obs.Trace.collect () in
       let doc =
-        Bw_core.Harness.json_of_results ~scale ~jobs ~micro outcomes
+        Bw_core.Harness.json_of_results ~trace ~scale ~jobs ~micro outcomes
       in
       let oc = open_out json_path in
       output_string oc (Bw_core.Bench_json.to_string doc);
       output_char oc '\n';
       close_out oc;
-      Format.printf "wrote %s (%d tables, %d micro estimates)@." json_path
-        (List.length outcomes) (List.length micro)
+      Format.printf "wrote %s (%d tables, %d micro estimates, %d spans)@."
+        json_path (List.length outcomes) (List.length micro)
+        (List.length trace)
     end
   end

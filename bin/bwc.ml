@@ -6,8 +6,17 @@
      bwc analyze <prog>            balance, predicted time, bottleneck
      bwc optimize <prog>           run the fusion/storage/store-elimination
                                    pipeline and report before/after
+                                   (--trace FILE writes a Chrome trace with
+                                   one span per pass)
+     bwc profile <prog>            run simulation + optimizer pipeline under
+                                   full span/metrics instrumentation
      bwc fuse <prog>               compare fusion plans and their costs
-     bwc experiments               regenerate the paper's tables *)
+     bwc experiments               regenerate the paper's tables
+     bwc validate-json <file>      check a bench/trace JSON artifact parses
+
+   Every failure (unknown workload, unreadable file, parse error,
+   runtime error) is reported as a one-line "bwc: ..." message with exit
+   code 1 — never an uncaught exception with a backtrace. *)
 
 open Cmdliner
 
@@ -45,25 +54,19 @@ let scale_arg =
     & info [ "s"; "scale" ] ~docv:"SCALE"
         ~doc:"Workload size: 1 quick, 2 full, 3 stress.")
 
-(* Resolve a program: registry name or path to a surface-language file. *)
-let load_program ~scale name =
-  match Bw_workloads.Registry.find name with
-  | Some entry -> Ok (entry.Bw_workloads.Registry.build ~scale)
-  | None ->
-    if Sys.file_exists name then begin
-      let ic = open_in name in
-      let len = in_channel_length ic in
-      let src = really_input_string ic len in
-      close_in ic;
-      match Bw_ir.Parser.parse_program src with
-      | Ok p -> Ok p
-      | Error e -> Error (Format.asprintf "%a" Bw_ir.Parser.pp_parse_error e)
-    end
-    else
-      Error
-        (Printf.sprintf
-           "'%s' is neither a built-in workload nor a file (try 'bwc list')"
-           name)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record observability spans and write them to $(docv) as a \
+           Chrome trace-event JSON document (open in chrome://tracing or \
+           Perfetto).")
+
+(* Resolve a program: registry name or path to a surface-language file.
+   Total — every failure is an [Error] (see Bw_core.Loader). *)
+let load_program = Bw_core.Loader.load_program
 
 let program_arg =
   Arg.(
@@ -136,10 +139,27 @@ let analyze_cmd =
 
 (* --- optimize --------------------------------------------------------------- *)
 
+(* Enable tracing, run [f], write the collected spans to [file] as a
+   Chrome trace document.  Trailing newline + re-parse is a self-check
+   that what we wrote is well-formed. *)
+let with_trace_file file f =
+  Bw_obs.Trace.reset ();
+  let v = Bw_obs.Trace.with_enabled true f in
+  let spans = Bw_obs.Trace.collect () in
+  let doc = Bw_core.Trace_export.json_of_spans spans in
+  Bw_core.Trace_export.write_file file doc;
+  ignore (Bw_core.Bench_json.parse (Bw_core.Bench_json.to_string doc));
+  Format.printf "wrote %s (%d spans)@." file (List.length spans);
+  v
+
 let optimize_cmd =
-  let run name scale machine print_program =
+  let run name scale machine print_program trace_out =
     let p = or_die (load_program ~scale name) in
-    let p', report = Bw_transform.Strategy.run p in
+    let p', report =
+      match trace_out with
+      | None -> Bw_transform.Strategy.run p
+      | Some file -> with_trace_file file (fun () -> Bw_transform.Strategy.run p)
+    in
     Format.printf "%a@.@." Bw_transform.Strategy.pp_report report;
     let before = Bw_exec.Run.simulate ~machine p in
     let after = Bw_exec.Run.simulate ~machine p' in
@@ -165,7 +185,94 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Apply the bandwidth-reduction pipeline and compare")
-    Term.(const run $ program_arg $ scale_arg $ machine_arg $ print_flag)
+    Term.(
+      const run $ program_arg $ scale_arg $ machine_arg $ print_flag
+      $ trace_arg)
+
+(* --- profile ---------------------------------------------------------------- *)
+
+let profile_cmd =
+  let run name scale machine trace_out =
+    let p = or_die (load_program ~scale name) in
+    Bw_obs.Trace.reset ();
+    Bw_obs.Metrics.reset ();
+    Bw_obs.Trace.set_enabled true;
+    let root =
+      Bw_obs.Trace.start ~cat:"profile"
+        ~attrs:
+          [ ("machine", Bw_obs.Trace.Str machine.Bw_machine.Machine.name);
+            ("scale", Bw_obs.Trace.Int scale) ]
+        ("profile:" ^ p.Bw_ir.Ast.prog_name)
+    in
+    let before = Bw_exec.Run.simulate ~machine p in
+    let p', report = Bw_transform.Strategy.run p in
+    let after = Bw_exec.Run.simulate ~machine p' in
+    Bw_obs.Trace.finish root;
+    Bw_obs.Trace.set_enabled false;
+    let spans = Bw_obs.Trace.collect () in
+    Format.printf "== optimizer ==@.%a@.@." Bw_transform.Strategy.pp_report
+      report;
+    let traffic r =
+      float_of_int (Bw_machine.Timing.memory_bytes r.Bw_exec.Run.cache) /. 1e6
+    in
+    Format.printf
+      "memory traffic: %.2f MB -> %.2f MB; predicted time %.2f ms -> %.2f ms \
+       (%.2fx)@.@."
+      (traffic before) (traffic after)
+      (1e3 *. Bw_exec.Run.seconds before)
+      (1e3 *. Bw_exec.Run.seconds after)
+      (Bw_exec.Run.seconds before /. Bw_exec.Run.seconds after);
+    Format.printf "== spans ==@.%a@.@." Bw_core.Trace_export.pp_span_tree spans;
+    Format.printf "== metrics ==@.%a@." Bw_obs.Metrics.pp_snapshot
+      (Bw_obs.Metrics.snapshot ());
+    match trace_out with
+    | None -> ()
+    | Some file ->
+      let doc = Bw_core.Trace_export.json_of_spans spans in
+      Bw_core.Trace_export.write_file file doc;
+      ignore (Bw_core.Bench_json.parse (Bw_core.Bench_json.to_string doc));
+      Format.printf "@.wrote %s (%d spans)@." file (List.length spans)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a program's simulation and optimization under full \
+          observability: per-pass spans, cache/engine/fusion metrics, and \
+          an optional Chrome trace")
+    Term.(const run $ program_arg $ scale_arg $ machine_arg $ trace_arg)
+
+(* --- validate-json --------------------------------------------------------- *)
+
+let validate_json_cmd =
+  let run file =
+    if not (Sys.file_exists file) then begin
+      Format.eprintf "bwc: '%s' does not exist@." file;
+      exit 1
+    end;
+    let ic = open_in_bin file in
+    let src =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Bw_core.Bench_json.parse src with
+    | _ -> Format.printf "%s: valid JSON (%d bytes)@." file (String.length src)
+    | exception Bw_core.Bench_json.Parse_error msg ->
+      Format.eprintf "bwc: %s: invalid JSON: %s@." file msg;
+      exit 1
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSON artifact to validate.")
+  in
+  Cmd.v
+    (Cmd.info "validate-json"
+       ~doc:
+         "Check that a bench/trace JSON artifact parses with the \
+          harness's JSON reader (used by CI)")
+    Term.(const run $ file_arg)
 
 (* --- fuse ------------------------------------------------------------------- *)
 
@@ -243,6 +350,12 @@ let reuse_cmd =
 
 let experiments_cmd =
   let run scale only =
+    (match only with
+    | Some w when not (List.mem_assoc w Bw_core.Experiments.all) ->
+      Format.eprintf "bwc: no experiment named '%s' (known: %s)@." w
+        (String.concat ", " (List.map fst Bw_core.Experiments.all));
+      exit 1
+    | _ -> ());
     List.iter
       (fun (id, f) ->
         match only with
@@ -270,8 +383,20 @@ let () =
          loop fusion, storage reduction and store elimination (Ding & \
          Kennedy, IPPS 2000)"
   in
+  let group =
+    Cmd.group ~default info
+      [ list_cmd; show_cmd; analyze_cmd; optimize_cmd; profile_cmd; fuse_cmd;
+        advise_cmd; reuse_cmd; experiments_cmd; validate_json_cmd ]
+  in
+  (* ~catch:false + our own handler: any escaped exception becomes a
+     one-line "bwc: ..." on stderr and exit code 1 — no backtraces. *)
   exit
-    (Cmd.eval
-       (Cmd.group ~default info
-          [ list_cmd; show_cmd; analyze_cmd; optimize_cmd; fuse_cmd;
-            advise_cmd; reuse_cmd; experiments_cmd ]))
+    (try Cmd.eval ~catch:false group with
+    | e ->
+      let msg =
+        match String.index_opt (Printexc.to_string e) '\n' with
+        | Some i -> String.sub (Printexc.to_string e) 0 i
+        | None -> Printexc.to_string e
+      in
+      Format.eprintf "bwc: %s@." msg;
+      1)

@@ -3,10 +3,21 @@ type outcome = { id : string; title : string; body : string; seconds : float }
 let default_jobs () = Domain.recommended_domain_count ()
 
 let render_one ~scale (id, table_fn) =
+  (* one span per table — recorded in the rendering domain's buffer, so
+     the merged trace shows which domain ran which table and for how
+     long *)
+  let span =
+    Bw_obs.Trace.start ~cat:"table"
+      ~attrs:[ ("id", Bw_obs.Trace.Str id) ]
+      ("table:" ^ id)
+  in
   let t0 = Unix.gettimeofday () in
   let table = table_fn ?scale:(Some scale) () in
   let body = Table.to_string table in
   let seconds = Unix.gettimeofday () -. t0 in
+  Bw_obs.Trace.finish
+    ~attrs:[ ("seconds", Bw_obs.Trace.Float seconds) ]
+    span;
   { id; title = table.Table.title; body; seconds }
 
 let run ?jobs ?(scale = 1) experiments =
@@ -44,10 +55,10 @@ let run ?jobs ?(scale = 1) experiments =
          | None -> failwith "Harness.run: missing result")
   end
 
-let json_of_results ~scale ~jobs ~micro outcomes =
-  Bench_json.Obj
+let json_of_results ?trace ~scale ~jobs ~micro outcomes =
+  let base =
     [
-      ("schema_version", Bench_json.Int 1);
+      ("schema_version", Bench_json.Int 2);
       ("scale", Bench_json.Int scale);
       ("jobs", Bench_json.Int jobs);
       ( "tables",
@@ -58,6 +69,7 @@ let json_of_results ~scale ~jobs ~micro outcomes =
                  [
                    ("id", Bench_json.String o.id);
                    ("title", Bench_json.String o.title);
+                   ("body", Bench_json.String o.body);
                    ("seconds", Bench_json.Float o.seconds);
                  ])
              outcomes) );
@@ -72,3 +84,10 @@ let json_of_results ~scale ~jobs ~micro outcomes =
                  ])
              micro) );
     ]
+  in
+  let trace_field =
+    match trace with
+    | None | Some [] -> []
+    | Some spans -> [ ("trace", Trace_export.json_of_spans spans) ]
+  in
+  Bench_json.Obj (base @ trace_field)

@@ -29,11 +29,15 @@ val run :
 val default_jobs : unit -> int
 
 (** [json_of_results ~scale ~jobs ~micro outcomes] builds the
-    [BENCH_results.json] document: schema version, run parameters,
-    per-table wall-clock seconds, and micro-benchmark estimates as
-    [(name, ns_per_run)] pairs (empty when the micro suite was not
-    run). *)
+    [BENCH_results.json] document (schema version 2): run parameters,
+    each table's id, title, full rendered body and wall-clock seconds,
+    and micro-benchmark estimates as [(name, ns_per_run)] pairs (empty
+    when the micro suite was not run).  [?trace] embeds the harness's
+    collected spans under a ["trace"] key as a Chrome trace document
+    (omitted when absent or empty), so one artifact carries both the
+    numbers and the timeline that produced them. *)
 val json_of_results :
+  ?trace:Bw_obs.Trace.span list ->
   scale:int ->
   jobs:int ->
   micro:(string * float) list ->

@@ -1,0 +1,38 @@
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | src -> Ok src
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error (path ^ ": truncated read")
+
+let load_program ~scale name =
+  match Bw_workloads.Registry.find name with
+  | Some entry -> (
+    match entry.Bw_workloads.Registry.build ~scale with
+    | p -> Ok p
+    | exception e ->
+      Error
+        (Printf.sprintf "workload '%s' failed to build: %s" name
+           (Printexc.to_string e)))
+  | None ->
+    if Sys.file_exists name then
+      if Sys.is_directory name then
+        Error (Printf.sprintf "'%s' is a directory, not a program" name)
+      else
+        Result.bind (read_file name) (fun src ->
+            match Bw_ir.Parser.parse_program src with
+            | Ok p -> Ok p
+            | Error e ->
+              Error (Format.asprintf "%a" Bw_ir.Parser.pp_parse_error e)
+            | exception e ->
+              Error
+                (Printf.sprintf "%s: %s" name (Printexc.to_string e)))
+    else
+      Error
+        (Printf.sprintf
+           "'%s' is neither a built-in workload nor a file (try 'bwc list')"
+           name)

@@ -1,0 +1,11 @@
+(** Resolution of a CLI program argument: a built-in workload name from
+    {!Bw_workloads.Registry}, or a path to a surface-language [.bw] file.
+
+    Total: every failure mode — unknown name, missing file, a path that
+    is a directory, an unreadable file, a parse error — comes back as
+    [Error] with a one-line message, never as an exception, so drivers
+    can print it and [exit 1] (the CLI-robustness contract tested in
+    [test/test_obs.ml]). *)
+
+val load_program :
+  scale:int -> string -> (Bw_ir.Ast.program, string) result

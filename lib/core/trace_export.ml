@@ -1,0 +1,98 @@
+let json_of_value : Bw_obs.Trace.value -> Bench_json.t = function
+  | Bw_obs.Trace.Int n -> Bench_json.Int n
+  | Bw_obs.Trace.Float f -> Bench_json.Float f
+  | Bw_obs.Trace.Str s -> Bench_json.String s
+  | Bw_obs.Trace.Bool b -> Bench_json.Bool b
+
+let json_of_span ~pid (s : Bw_obs.Trace.span) =
+  Bench_json.Obj
+    [ ("name", Bench_json.String s.Bw_obs.Trace.name);
+      ("cat", Bench_json.String
+          (if s.Bw_obs.Trace.cat = "" then "span" else s.Bw_obs.Trace.cat));
+      ("ph", Bench_json.String "X");
+      ("ts", Bench_json.Float s.Bw_obs.Trace.start_us);
+      ("dur", Bench_json.Float s.Bw_obs.Trace.dur_us);
+      ("pid", Bench_json.Int pid);
+      ("tid", Bench_json.Int s.Bw_obs.Trace.tid);
+      ( "args",
+        Bench_json.Obj
+          (("depth", Bench_json.Int s.Bw_obs.Trace.depth)
+          :: List.map
+               (fun (k, v) -> (k, json_of_value v))
+               s.Bw_obs.Trace.attrs) ) ]
+
+let json_of_spans ?(pid = 1) spans =
+  Bench_json.Obj
+    [ ("traceEvents", Bench_json.List (List.map (json_of_span ~pid) spans));
+      ("displayTimeUnit", Bench_json.String "ms") ]
+
+let json_of_metrics snaps =
+  Bench_json.List
+    (List.map
+       (fun { Bw_obs.Metrics.metric; data } ->
+         let fields =
+           match data with
+           | Bw_obs.Metrics.Counter_v n ->
+             [ ("kind", Bench_json.String "counter");
+               ("value", Bench_json.Int n) ]
+           | Bw_obs.Metrics.Gauge_v v ->
+             [ ("kind", Bench_json.String "gauge");
+               ("value", Bench_json.Float v) ]
+           | Bw_obs.Metrics.Hist_v h ->
+             [ ("kind", Bench_json.String "histogram");
+               ("count", Bench_json.Int h.Bw_obs.Metrics.count);
+               ("sum", Bench_json.Float h.Bw_obs.Metrics.sum);
+               ( "buckets",
+                 Bench_json.List
+                   (List.map
+                      (fun (ub, n) ->
+                        Bench_json.Obj
+                          [ ("le", Bench_json.Float ub);
+                            ("n", Bench_json.Int n) ])
+                      h.Bw_obs.Metrics.buckets) ) ]
+         in
+         Bench_json.Obj (("metric", Bench_json.String metric) :: fields))
+       snaps)
+
+let pp_span_tree ppf spans =
+  (* group by recording domain, then rely on start order + depth *)
+  let tids =
+    List.map (fun s -> s.Bw_obs.Trace.tid) spans |> List.sort_uniq compare
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i tid ->
+      if i > 0 then Format.fprintf ppf "@,";
+      if List.length tids > 1 then Format.fprintf ppf "domain %d:@," tid;
+      List.iter
+        (fun (s : Bw_obs.Trace.span) ->
+          if s.Bw_obs.Trace.tid = tid then begin
+            Format.fprintf ppf "%s%-*s %8.3f ms"
+              (String.make (2 * s.Bw_obs.Trace.depth) ' ')
+              (max 1 (36 - (2 * s.Bw_obs.Trace.depth)))
+              s.Bw_obs.Trace.name
+              (s.Bw_obs.Trace.dur_us /. 1e3);
+            List.iter
+              (fun (k, v) ->
+                let txt =
+                  match v with
+                  | Bw_obs.Trace.Int n -> string_of_int n
+                  | Bw_obs.Trace.Float f -> Printf.sprintf "%.4g" f
+                  | Bw_obs.Trace.Str s -> s
+                  | Bw_obs.Trace.Bool b -> string_of_bool b
+                in
+                Format.fprintf ppf "  %s=%s" k txt)
+              s.Bw_obs.Trace.attrs;
+            Format.fprintf ppf "@,"
+          end)
+        spans)
+    tids;
+  Format.fprintf ppf "@]"
+
+let write_file path doc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Bench_json.to_string doc);
+      output_char oc '\n')

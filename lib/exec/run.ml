@@ -8,6 +8,46 @@ type result = {
   breakdown : Timing.breakdown;
 }
 
+let engine_name = function
+  | `Compiled -> "compiled"
+  | `Interpreted -> "interpreted"
+
+(* Metrics publication happens once per run, after the engines and the
+   simulator have finished — the per-access hot paths (Cache.read/write,
+   Trace_buffer.record) carry no metrics calls, which is what keeps the
+   disabled-observability overhead at zero on the micro-benchmarks. *)
+let publish_engine ~engine ~sink ~(counters : Counters.t) =
+  let pfx = "engine." ^ engine_name engine ^ "." in
+  let c name = Bw_obs.Metrics.counter (pfx ^ name) in
+  Bw_obs.Metrics.incr (c "runs");
+  Bw_obs.Metrics.incr
+    ~by:(Trace_buffer.flushes sink.Interp.trace)
+    (c "trace_flushes");
+  Bw_obs.Metrics.incr
+    ~by:(counters.Counters.loads + counters.Counters.stores)
+    (c "elements");
+  Bw_obs.Metrics.incr ~by:counters.Counters.flops (c "flops")
+
+let publish_cache cache =
+  List.iteri
+    (fun i (s : Cache.level_stats) ->
+      let c name =
+        Bw_obs.Metrics.counter (Printf.sprintf "cache.L%d.%s" (i + 1) name)
+      in
+      let misses = s.Cache.read_misses + s.Cache.write_misses in
+      Bw_obs.Metrics.incr
+        ~by:(s.Cache.reads + s.Cache.writes - misses)
+        (c "hits");
+      Bw_obs.Metrics.incr ~by:misses (c "misses");
+      Bw_obs.Metrics.incr ~by:s.Cache.writebacks (c "writebacks"))
+    (Cache.stats_snapshot cache);
+  Bw_obs.Metrics.incr
+    ~by:(Cache.memory_lines_in cache)
+    (Bw_obs.Metrics.counter "cache.mem.lines_in");
+  Bw_obs.Metrics.incr
+    ~by:(Cache.memory_lines_out cache)
+    (Bw_obs.Metrics.counter "cache.mem.lines_out")
+
 let run_engine ~engine ~sink ?base_of program =
   let observation =
     match engine with
@@ -45,6 +85,18 @@ let drain_into_cache ~translation ~cache ~counters buf =
 
 let simulate ?(flush = true) ?(engine = `Compiled) ~machine
     (program : Bw_ir.Ast.program) =
+  Bw_obs.Trace.with_span ~cat:"simulate"
+    ~attrs:
+      [ ("engine", Bw_obs.Trace.Str (engine_name engine));
+        ("machine", Bw_obs.Trace.Str machine.Machine.name) ]
+    ~result_attrs:(fun r ->
+      [ ("loads", Bw_obs.Trace.Int r.counters.Counters.loads);
+        ("stores", Bw_obs.Trace.Int r.counters.Counters.stores);
+        ("flops", Bw_obs.Trace.Int r.counters.Counters.flops);
+        ("memory_bytes", Bw_obs.Trace.Int (Timing.memory_bytes r.cache));
+        ("predicted_s", Bw_obs.Trace.Float r.breakdown.Timing.total) ])
+    ("simulate:" ^ program.Bw_ir.Ast.prog_name)
+  @@ fun () ->
   let layout =
     Layout.assign ~align_bytes:machine.Machine.array_align_bytes
       ~stagger_bytes:machine.Machine.array_stagger_bytes
@@ -68,6 +120,8 @@ let simulate ?(flush = true) ?(engine = `Compiled) ~machine
   counters.Counters.flops <- sink.Interp.flops;
   counters.Counters.int_ops <- sink.Interp.int_ops;
   if flush then Cache.flush cache;
+  publish_engine ~engine ~sink ~counters;
+  publish_cache cache;
   let breakdown = Timing.predict machine cache counters in
   { machine; observation; counters; cache; breakdown }
 
@@ -89,6 +143,7 @@ let observe ?(engine = `Compiled) program =
   let observation = run_engine ~engine ~sink program in
   counters.Counters.flops <- sink.Interp.flops;
   counters.Counters.int_ops <- sink.Interp.int_ops;
+  publish_engine ~engine ~sink ~counters;
   (observation, counters)
 
 let reuse_profile ?(granularity = 32) ?(engine = `Compiled)

@@ -42,6 +42,13 @@ let two_partition (g : Fusion_graph.t) ~within ~s ~t =
         ignore (Bw_graph.Hypergraph.add_edge ~weight:big h [ local u; local t ])
       end);
   let r = Bw_graph.Hyper_cut.min_cut h ~s:(local s) ~t:(local t) in
+  Bw_obs.Metrics.incr (Bw_obs.Metrics.counter "fusion.mincut.calls");
+  Bw_obs.Metrics.observe
+    (Bw_obs.Metrics.histogram "fusion.mincut.nodes")
+    (float_of_int m);
+  Bw_obs.Metrics.observe
+    (Bw_obs.Metrics.histogram "fusion.mincut.cut_weight")
+    (float_of_int r.Bw_graph.Hyper_cut.value);
   let back locals =
     List.map (fun i -> List.nth members i) locals |> List.sort compare
   in
@@ -65,10 +72,14 @@ let arrays_of (g : Fusion_graph.t) nodes =
   |> List.sort_uniq compare |> List.length
 
 let multi_partition (g : Fusion_graph.t) =
+  (* bisection rounds of this planning call, reported on the span and
+     accumulated in the fusion.bisect.iterations counter *)
+  let iterations = ref 0 in
   let rec solve subset =
     match preventing_within g subset with
     | [] -> if subset = [] then [] else [ List.sort compare subset ]
     | pairs ->
+      incr iterations;
       (* bisect on the preventing pair whose minimum cut leaves the
          cheapest two-way split (Kennedy-McKinley-style bisection with
          the paper's objective) *)
@@ -88,7 +99,17 @@ let multi_partition (g : Fusion_graph.t) =
       let { first; second; _ } = snd (Option.get best) in
       solve first @ solve second
   in
-  let result = solve (List.init (Fusion_graph.node_count g) (fun i -> i)) in
+  let result =
+    Bw_obs.Trace.with_span ~cat:"fusion"
+      ~attrs:[ ("nodes", Bw_obs.Trace.Int (Fusion_graph.node_count g)) ]
+      ~result_attrs:(fun partitions ->
+        [ ("partitions", Bw_obs.Trace.Int (List.length partitions));
+          ("iterations", Bw_obs.Trace.Int !iterations) ])
+      "fusion:multi_partition"
+      (fun () -> solve (List.init (Fusion_graph.node_count g) (fun i -> i)))
+  in
+  Bw_obs.Metrics.incr ~by:!iterations
+    (Bw_obs.Metrics.counter "fusion.bisect.iterations");
   match Cost.validate g result with
   | Ok () -> result
   | Error reason ->

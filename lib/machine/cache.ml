@@ -131,6 +131,16 @@ let stats t i =
   if i < 0 || i >= Array.length t.levels then invalid_arg "Cache.stats";
   t.levels.(i).stats
 
+let stats_snapshot t =
+  Array.to_list t.levels
+  |> List.map (fun level ->
+         let s = level.stats in
+         { reads = s.reads;
+           writes = s.writes;
+           read_misses = s.read_misses;
+           write_misses = s.write_misses;
+           writebacks = s.writebacks })
+
 (* --- reference model ----------------------------------------------------- *)
 
 (* The straightforward div/mod + linear-scan implementation.  The fast

@@ -68,6 +68,11 @@ val write : t -> addr:int -> bytes:int -> unit
     record mutates as simulation proceeds. *)
 val stats : t -> int -> level_stats
 
+(** Fresh copies of every level's statistics, CPU-closest first — safe
+    to hold across further simulation (feeds the observability layer's
+    [cache.L*] metrics). *)
+val stats_snapshot : t -> level_stats list
+
 (** Lines fetched from main memory (last-level read+write misses). *)
 val memory_lines_in : t -> int
 

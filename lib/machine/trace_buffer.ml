@@ -7,6 +7,7 @@ type t = {
   capacity : int; (* in records *)
   mutable len : int;
   mutable on_full : t -> unit;
+  mutable flushes : int;
 }
 
 let kind_load = 0
@@ -18,7 +19,11 @@ let kind_store = 1
    becomes a streaming store to cold memory. *)
 let create ?(capacity = 1_024) ~on_full () =
   if capacity <= 0 then invalid_arg "Trace_buffer.create: capacity <= 0";
-  { data = Array.make (capacity * slot_width) 0; capacity; len = 0; on_full }
+  { data = Array.make (capacity * slot_width) 0;
+    capacity;
+    len = 0;
+    on_full;
+    flushes = 0 }
 
 let set_on_full t f = t.on_full <- f
 let length t = t.len
@@ -26,6 +31,7 @@ let reset t = t.len <- 0
 
 let[@inline] record t kind addr bytes =
   if t.len = t.capacity then begin
+    t.flushes <- t.flushes + 1;
     t.on_full t;
     t.len <- 0
   end;
@@ -55,6 +61,9 @@ let drain t ~f =
 
 let flush t =
   if t.len > 0 then begin
+    t.flushes <- t.flushes + 1;
     t.on_full t;
     t.len <- 0
   end
+
+let flushes t = t.flushes

@@ -21,6 +21,9 @@ type t = {
       (** drain handler, invoked when an append finds the buffer full and
           by {!flush}; the buffer is reset after it returns.  It must not
           append to the buffer it is draining. *)
+  mutable flushes : int;
+      (** number of times the drain handler has run, for the
+          observability layer's [engine.*.trace_flushes] counters *)
 }
 
 val kind_load : int
@@ -53,3 +56,6 @@ val flush : t -> unit
 
 (** Discard buffered records without draining them. *)
 val reset : t -> unit
+
+(** Times the drain handler has run (overflow drains plus {!flush}). *)
+val flushes : t -> int

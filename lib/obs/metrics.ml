@@ -1,0 +1,148 @@
+(* Named counters/gauges/histograms.  See metrics.mli. *)
+
+let n_buckets = 64 (* bucket i holds observations in (2^(i-1), 2^i] *)
+
+type counter = int Atomic.t
+type gauge = float Atomic.t
+
+type histogram = {
+  counts : int Atomic.t array; (* length n_buckets *)
+  mutable sum : float; (* updated under [registry_lock]-free CAS? no: see note *)
+  sum_lock : Mutex.t;
+}
+
+(* The histogram sum is a float, and OCaml has no atomic float add; the
+   per-histogram mutex is fine because every histogram site here fires
+   at most a few times per optimizer run. *)
+
+type instrument =
+  | I_counter of counter
+  | I_gauge of gauge
+  | I_hist of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let register name make classify =
+  Mutex.lock registry_lock;
+  let r =
+    match Hashtbl.find_opt registry name with
+    | Some i -> classify i
+    | None ->
+      let i = make () in
+      Hashtbl.add registry name i;
+      classify i
+  in
+  Mutex.unlock registry_lock;
+  match r with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Metrics: %S already registered as another kind" name)
+
+let counter name =
+  register name
+    (fun () -> I_counter (Atomic.make 0))
+    (function I_counter c -> Some c | _ -> None)
+
+let gauge name =
+  register name
+    (fun () -> I_gauge (Atomic.make 0.0))
+    (function I_gauge g -> Some g | _ -> None)
+
+let histogram name =
+  register name
+    (fun () ->
+      I_hist
+        { counts = Array.init n_buckets (fun _ -> Atomic.make 0);
+          sum = 0.0;
+          sum_lock = Mutex.create () })
+    (function I_hist h -> Some h | _ -> None)
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
+let counter_value c = Atomic.get c
+let set g v = Atomic.set g v
+let gauge_value g = Atomic.get g
+
+let bucket_of v =
+  if v <= 1.0 then 0
+  else begin
+    (* smallest i with v <= 2^i *)
+    let rec go i ub =
+      if i >= n_buckets - 1 || v <= ub then i else go (i + 1) (ub *. 2.0)
+    in
+    go 1 2.0
+  end
+
+let observe h v =
+  let v = if Float.is_nan v || v < 0.0 then 0.0 else v in
+  ignore (Atomic.fetch_and_add h.counts.(bucket_of v) 1);
+  Mutex.lock h.sum_lock;
+  h.sum <- h.sum +. v;
+  Mutex.unlock h.sum_lock
+
+type hist_view = { count : int; sum : float; buckets : (float * int) list }
+type data = Counter_v of int | Gauge_v of float | Hist_v of hist_view
+type snapshot = { metric : string; data : data }
+
+let view_hist h =
+  let count = ref 0 and buckets = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    let n = Atomic.get h.counts.(i) in
+    if n > 0 then begin
+      count := !count + n;
+      buckets := (Float.of_int 2 ** Float.of_int i, n) :: !buckets
+    end
+  done;
+  Mutex.lock h.sum_lock;
+  let sum = h.sum in
+  Mutex.unlock h.sum_lock;
+  { count = !count; sum; buckets = !buckets }
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  let all = Hashtbl.fold (fun name i acc -> (name, i) :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  all
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (metric, i) ->
+         let data =
+           match i with
+           | I_counter c -> Counter_v (Atomic.get c)
+           | I_gauge g -> Gauge_v (Atomic.get g)
+           | I_hist h -> Hist_v (view_hist h)
+         in
+         { metric; data })
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | I_counter c -> Atomic.set c 0
+      | I_gauge g -> Atomic.set g 0.0
+      | I_hist h ->
+        Array.iter (fun a -> Atomic.set a 0) h.counts;
+        Mutex.lock h.sum_lock;
+        h.sum <- 0.0;
+        Mutex.unlock h.sum_lock)
+    registry;
+  Mutex.unlock registry_lock
+
+let pp_snapshot ppf snaps =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i { metric; data } ->
+      if i > 0 then Format.fprintf ppf "@,";
+      match data with
+      | Counter_v n -> Format.fprintf ppf "%-40s %12d" metric n
+      | Gauge_v v -> Format.fprintf ppf "%-40s %12.4f" metric v
+      | Hist_v h ->
+        Format.fprintf ppf "%-40s count %d, sum %.1f, buckets [%s]" metric
+          h.count h.sum
+          (String.concat "; "
+             (List.map
+                (fun (ub, n) -> Printf.sprintf "<=%g: %d" ub n)
+                h.buckets)))
+    snaps;
+  Format.fprintf ppf "@]"

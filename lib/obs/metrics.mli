@@ -1,0 +1,52 @@
+(** Process-wide registry of named metric instruments.
+
+    Three instrument kinds: monotonically increasing {e counters},
+    last-value {e gauges}, and exponential-bucket {e histograms}.
+    Instruments are created (or found) by name — calling {!counter} twice
+    with the same name yields the same instrument — so instrumentation
+    sites can be written without threading registry state around.
+
+    Unlike span tracing, metrics are always on: updates are single
+    atomic operations, and every instrumented site in this repository
+    sits at batch granularity (per simulation run, per trace-buffer
+    flush, per optimizer pass), never inside a per-access loop.  The
+    cache simulator's per-access counters stay in {!Bw_machine.Cache}
+    and are published here once per run. *)
+
+type counter
+type gauge
+type histogram
+
+(** Find or register; raises [Invalid_argument] if [name] is already
+    registered as a different kind. *)
+val counter : string -> counter
+
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** Record one observation ([v < 0] is clamped to bucket 0). *)
+val observe : histogram -> float -> unit
+
+type hist_view = {
+  count : int;
+  sum : float;
+  buckets : (float * int) list;
+      (** [(ub, n)]: [n] observations fell in (previous ub, ub]; only
+          non-empty buckets are listed, ascending *)
+}
+
+type data = Counter_v of int | Gauge_v of float | Hist_v of hist_view
+type snapshot = { metric : string; data : data }
+
+(** Every registered instrument with its current value, sorted by name. *)
+val snapshot : unit -> snapshot list
+
+(** Zero every instrument's value; registrations survive. *)
+val reset : unit -> unit
+
+val pp_snapshot : Format.formatter -> snapshot list -> unit

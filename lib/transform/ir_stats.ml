@@ -1,0 +1,123 @@
+open Bw_ir
+
+type t = {
+  toplevel : int;
+  statements : int;
+  distinct_arrays : int;
+  est_flops : float;
+  est_bytes : float;
+  predicted_balance : float;
+}
+
+let default_trips = 16
+
+let rec const_int (e : Ast.expr) =
+  match e with
+  | Ast.Int_lit n -> Some n
+  | Ast.Unary (Ast.Neg, e) -> Option.map (fun n -> -n) (const_int e)
+  | Ast.Binary (op, a, b) -> (
+    match (const_int a, const_int b) with
+    | Some a, Some b -> (
+      match op with
+      | Ast.Add -> Some (a + b)
+      | Ast.Sub -> Some (a - b)
+      | Ast.Mul -> Some (a * b)
+      | Ast.Div -> if b = 0 then None else Some (a / b)
+      | Ast.Mod -> if b = 0 then None else Some (a mod b)
+      | Ast.Min -> Some (min a b)
+      | Ast.Max -> Some (max a b))
+    | _ -> None)
+  | _ -> None
+
+let trips (loop : Ast.loop) =
+  match (const_int loop.Ast.lo, const_int loop.Ast.hi, const_int loop.Ast.step)
+  with
+  | Some lo, Some hi, Some step when step > 0 ->
+    float_of_int (max 0 (((hi - lo) / step) + 1))
+  | _ -> float_of_int default_trips
+
+(* flops and element references of one expression, subscripts included *)
+let expr_cost e =
+  List.fold_left
+    (fun (flops, elems) sub ->
+      match sub with
+      | Ast.Element _ -> (flops, elems + 1)
+      | Ast.Binary _ | Ast.Unary _ | Ast.Call _ -> (flops + 1, elems)
+      | _ -> (flops, elems))
+    (0, 0) (Ast_util.subexprs e)
+
+let rec cond_cost = function
+  | Ast.Cmp (_, a, b) ->
+    let fa, ea = expr_cost a and fb, eb = expr_cost b in
+    (fa + fb + 1, ea + eb)
+  | Ast.And (a, b) | Ast.Or (a, b) ->
+    let fa, ea = cond_cost a and fb, eb = cond_cost b in
+    (fa + fb, ea + eb)
+  | Ast.Not c -> cond_cost c
+
+let lvalue_cost = function
+  | Ast.Lscalar _ -> (0, 0)
+  | Ast.Lelement (_, subs) ->
+    List.fold_left
+      (fun (f, e) s ->
+        let fs, es = expr_cost s in
+        (f + fs, e + es))
+      (0, 1) (* the store itself *)
+      subs
+
+let rec stmts_cost mult stmts acc =
+  List.fold_left
+    (fun (flops, bytes) s ->
+      match s with
+      | Ast.Assign (lv, e) ->
+        let fe, ee = expr_cost e and fl, el = lvalue_cost lv in
+        ( flops +. (mult *. float_of_int (fe + fl)),
+          bytes +. (mult *. float_of_int (8 * (ee + el))) )
+      | Ast.Read_input lv ->
+        let fl, el = lvalue_cost lv in
+        ( flops +. (mult *. float_of_int fl),
+          bytes +. (mult *. float_of_int (8 * el)) )
+      | Ast.Print e ->
+        let fe, ee = expr_cost e in
+        ( flops +. (mult *. float_of_int fe),
+          bytes +. (mult *. float_of_int (8 * ee)) )
+      | Ast.If (c, then_, else_) ->
+        let fc, ec = cond_cost c in
+        let acc =
+          ( flops +. (mult *. float_of_int fc),
+            bytes +. (mult *. float_of_int (8 * ec)) )
+        in
+        stmts_cost mult else_ (stmts_cost mult then_ acc)
+      | Ast.For loop ->
+        (* bound expressions evaluate once per entry, charged at [mult] *)
+        let fb, eb =
+          List.fold_left
+            (fun (f, e) bound ->
+              let fs, es = expr_cost bound in
+              (f + fs, e + es))
+            (0, 0)
+            [ loop.Ast.lo; loop.Ast.hi; loop.Ast.step ]
+        in
+        let acc =
+          ( flops +. (mult *. float_of_int fb),
+            bytes +. (mult *. float_of_int (8 * eb)) )
+        in
+        stmts_cost (mult *. trips loop) loop.Ast.body acc)
+    acc stmts
+
+let of_program (p : Ast.program) =
+  let est_flops, est_bytes = stmts_cost 1.0 p.Ast.body (0.0, 0.0) in
+  { toplevel = List.length p.Ast.body;
+    statements = Ast_util.stmt_count p.Ast.body;
+    distinct_arrays = List.length (Ast_util.arrays_accessed p p.Ast.body);
+    est_flops;
+    est_bytes;
+    predicted_balance = est_bytes /. Float.max 1.0 est_flops }
+
+let span_attrs ~prefix t =
+  [ (prefix ^ "toplevel", Bw_obs.Trace.Int t.toplevel);
+    (prefix ^ "statements", Bw_obs.Trace.Int t.statements);
+    (prefix ^ "distinct_arrays", Bw_obs.Trace.Int t.distinct_arrays);
+    (prefix ^ "est_flops", Bw_obs.Trace.Float t.est_flops);
+    (prefix ^ "est_bytes", Bw_obs.Trace.Float t.est_bytes);
+    (prefix ^ "predicted_balance", Bw_obs.Trace.Float t.predicted_balance) ]

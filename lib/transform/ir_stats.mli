@@ -1,0 +1,27 @@
+(** Cheap static summary of a program, computed between optimizer passes
+    so every pass's span can carry before/after shape and a predicted
+    balance without re-running the simulator.
+
+    The flop/byte estimates come from an abstract walk: each arithmetic
+    operator or intrinsic call costs one flop, each array-element
+    occurrence moves 8 bytes, and loop bodies are multiplied by the trip
+    count when the bounds fold to constants (the shipped workloads bake
+    concrete sizes in, so they fold; symbolic bounds introduced by e.g.
+    tiling fall back to {!default_trips}).  Both arms of a conditional
+    are charged — an upper bound. *)
+
+type t = {
+  toplevel : int;  (** top-level statements (fusion merges these) *)
+  statements : int;  (** structural statement count, nested included *)
+  distinct_arrays : int;  (** arrays referenced anywhere in the body *)
+  est_flops : float;
+  est_bytes : float;  (** register-boundary traffic: 8 bytes/element *)
+  predicted_balance : float;  (** est_bytes / est_flops, bytes per flop *)
+}
+
+val default_trips : int
+
+val of_program : Bw_ir.Ast.program -> t
+
+(** Attributes for a span, each key prefixed (e.g. [~prefix:"before."]). *)
+val span_attrs : prefix:string -> t -> (string * Bw_obs.Trace.value) list

@@ -18,28 +18,76 @@ let all_on = { fuse = true; contract = true; shrink = true; store_elim = true }
 let fusion_only =
   { fuse = true; contract = false; shrink = false; store_elim = false }
 
+(* Run one pass under observability: a "pass:<name>" span carrying the
+   program's static statistics before and after (statement counts,
+   distinct arrays, predicted balance — see Ir_stats), plus a
+   pass.<name>.runs counter.  The statistics are only computed when
+   tracing is enabled, so the untraced pipeline pays one atomic load and
+   a counter bump per pass. *)
+let pass name f p =
+  Bw_obs.Metrics.incr (Bw_obs.Metrics.counter ("pass." ^ name ^ ".runs"));
+  if not (Bw_obs.Trace.enabled ()) then f p
+  else begin
+    let h =
+      Bw_obs.Trace.start ~cat:"pass"
+        ~attrs:
+          (("pass", Bw_obs.Trace.Str name)
+          :: Ir_stats.span_attrs ~prefix:"before." (Ir_stats.of_program p))
+        ("pass:" ^ name)
+    in
+    match f p with
+    | (p', _aux) as result ->
+      Bw_obs.Trace.finish
+        ~attrs:(Ir_stats.span_attrs ~prefix:"after." (Ir_stats.of_program p'))
+        h;
+      result
+    | exception e ->
+      Bw_obs.Trace.finish
+        ~attrs:[ ("error", Bw_obs.Trace.Str (Printexc.to_string e)) ]
+        h;
+      raise e
+  end
+
+let count name n = Bw_obs.Metrics.incr ~by:n (Bw_obs.Metrics.counter name)
+
 let run ?(options = all_on) (p : Bw_ir.Ast.program) =
+  Bw_obs.Trace.with_span ~cat:"optimizer"
+    ("optimize:" ^ p.Bw_ir.Ast.prog_name)
+  @@ fun () ->
   let before = List.length p.Bw_ir.Ast.body in
-  let p = if options.fuse then Fuse.greedy p else p in
+  let p =
+    if options.fuse then fst (pass "fuse" (fun p -> (Fuse.greedy p, ())) p)
+    else p
+  in
   let fused_loops = before - List.length p.Bw_ir.Ast.body in
   let p, contracted =
-    if options.contract then Contract.contract_arrays p else (p, [])
+    if options.contract then pass "contract" Contract.contract_arrays p
+    else (p, [])
   in
   let p, shrink_plans =
-    if options.shrink then Shrink.shrink_all p else (p, [])
+    if options.shrink then pass "shrink" Shrink.shrink_all p else (p, [])
   in
   let p, forwarded =
-    if options.store_elim then Scalar_replace.forward_stores p else (p, 0)
+    if options.store_elim then pass "forward" Scalar_replace.forward_stores p
+    else (p, 0)
   in
   let p, stores_eliminated =
-    if options.store_elim then Store_elim.eliminate_dead_stores p else (p, [])
+    if options.store_elim then
+      pass "store-elim" Store_elim.eliminate_dead_stores p
+    else (p, [])
   in
   (* The pipeline may leave a forwarding temp whose store was the only
      consumer; one more contraction pass tidies that up. *)
   let p, contracted2 =
-    if options.contract then Contract.contract_arrays p else (p, [])
+    if options.contract then pass "contract-tidy" Contract.contract_arrays p
+    else (p, [])
   in
   Bw_ir.Check.check_exn p;
+  count "pass.fuse.loops_fused" fused_loops;
+  count "pass.contract.arrays" (List.length contracted + List.length contracted2);
+  count "pass.shrink.plans" (List.length shrink_plans);
+  count "pass.forward.sites" forwarded;
+  count "pass.store-elim.stores" (List.length stores_eliminated);
   ( p,
     { fused_loops;
       contracted = contracted @ contracted2;

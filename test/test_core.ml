@@ -302,7 +302,7 @@ let test_bench_json_roundtrip () =
       outcomes
   in
   let parsed = J.parse (J.to_string doc) in
-  check (Alcotest.option Alcotest.int) "schema_version" (Some 1)
+  check (Alcotest.option Alcotest.int) "schema_version" (Some 2)
     (Option.bind (J.member "schema_version" parsed) (function
       | J.Int i -> Some i
       | _ -> None));
@@ -359,6 +359,37 @@ let test_harness_order () =
         b.Bw_core.Harness.body)
     serial parallel
 
+(* Property: whatever bytes end up in an outcome's id/title/body —
+   quotes, backslashes, newlines, control characters — the bench JSON
+   document must round-trip them exactly through print + parse. *)
+let prop_bench_json_string_roundtrip =
+  let module J = Bw_core.Bench_json in
+  let nasty_string =
+    QCheck.Gen.(
+      string_size ~gen:
+        (oneofl
+           [ 'a'; 'z'; ' '; '"'; '\\'; '\n'; '\r'; '\t'; '\x01'; '{'; ']' ])
+        (int_range 0 30))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (a, b, c) -> Printf.sprintf "(%S, %S, %S)" a b c)
+      QCheck.Gen.(triple nasty_string nasty_string nasty_string)
+  in
+  QCheck.Test.make ~count:200 ~name:"bench json round-trips nasty strings" arb
+    (fun (id, title, body) ->
+      let doc =
+        Bw_core.Harness.json_of_results ~scale:1 ~jobs:1 ~micro:[]
+          [ { Bw_core.Harness.id; title; body; seconds = 0.0 } ]
+      in
+      let parsed = J.parse (J.to_string doc) in
+      match Option.bind (J.member "tables" parsed) J.to_list with
+      | Some [ t ] ->
+        let field k = Option.bind (J.member k t) J.to_str in
+        field "id" = Some id && field "title" = Some title
+        && field "body" = Some body
+      | _ -> false)
+
 let test_bench_json_parse_errors () =
   let module J = Bw_core.Bench_json in
   let fails s =
@@ -392,6 +423,8 @@ let suites =
           test_bench_json_roundtrip;
         Alcotest.test_case "json parse errors" `Quick
           test_bench_json_parse_errors;
+        QCheck_alcotest.to_alcotest ~long:false
+          prop_bench_json_string_roundtrip;
         Alcotest.test_case "harness deterministic order" `Quick
           test_harness_order ] );
     ( "core.advisor",
