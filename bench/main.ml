@@ -111,6 +111,13 @@ let print_micro estimates =
 (* --- entry point ---------------------------------------------------------- *)
 
 let () =
+  (* Deterministic fault injection for CI: BWC_FAULTS="site=raise@nth:1,..."
+     arms sites like harness.table.fig3 before any table renders. *)
+  (match Bw_obs.Fault.arm_from_env () with
+  | Ok () -> ()
+  | Error msg ->
+    Format.eprintf "bench: bad BWC_FAULTS: %s@." msg;
+    exit 1);
   let args = Array.to_list Sys.argv |> List.tl in
   let has flag = List.mem flag args in
   let value_of flag =
@@ -170,9 +177,14 @@ let () =
     Bw_obs.Trace.set_enabled false;
     List.iter
       (fun o ->
-        print_string o.Bw_core.Harness.body;
-        Format.printf "(generated in %.1f s)@.@." o.Bw_core.Harness.seconds)
+        match o.Bw_core.Harness.status with
+        | Bw_core.Harness.Ok ->
+          print_string o.Bw_core.Harness.body;
+          Format.printf "(generated in %.1f s)@.@." o.Bw_core.Harness.seconds
+        | Bw_core.Harness.Error _ -> ())
       outcomes;
+    (* Partial results are still written (and still parse); the exit
+       code and a one-line summary per failed table carry the bad news. *)
     if json then begin
       let trace = Bw_obs.Trace.collect () in
       let doc =
@@ -185,5 +197,19 @@ let () =
       Format.printf "wrote %s (%d tables, %d micro estimates, %d spans)@."
         json_path (List.length outcomes) (List.length micro)
         (List.length trace)
+    end;
+    let failed =
+      List.filter (fun o -> not (Bw_core.Harness.ok o)) outcomes
+    in
+    if failed <> [] then begin
+      List.iter
+        (fun o ->
+          match o.Bw_core.Harness.status with
+          | Bw_core.Harness.Error msg ->
+            Format.eprintf "bench: table %s failed: %s@."
+              o.Bw_core.Harness.id msg
+          | Bw_core.Harness.Ok -> ())
+        failed;
+      exit 1
     end
   end

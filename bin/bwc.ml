@@ -7,16 +7,23 @@
      bwc optimize <prog>           run the fusion/storage/store-elimination
                                    pipeline and report before/after
                                    (--trace FILE writes a Chrome trace with
-                                   one span per pass)
+                                   one span per pass; --validate[=N] checks
+                                   each stage differentially on both engines;
+                                   --no-rollback fails fast; --fuel N bounds
+                                   the pipeline's step budget; --faults SPEC
+                                   arms fault-injection sites)
      bwc profile <prog>            run simulation + optimizer pipeline under
                                    full span/metrics instrumentation
      bwc fuse <prog>               compare fusion plans and their costs
      bwc experiments               regenerate the paper's tables
+     bwc faults                    list the registered fault-injection sites
      bwc validate-json <file>      check a bench/trace JSON artifact parses
 
-   Every failure (unknown workload, unreadable file, parse error,
-   runtime error) is reported as a one-line "bwc: ..." message with exit
-   code 1 — never an uncaught exception with a backtrace. *)
+   Exit codes: 0 success; 1 usage, load or runtime error (reported as a
+   one-line "bwc: ..." message, never a backtrace); 2 guard validation
+   failure under optimize --no-rollback.  Fault-injection sites can
+   also be armed via the BWC_FAULTS environment variable (syntax:
+   SITE=ACTION[@POLICY], comma-separated — see `bwc faults`). *)
 
 open Cmdliner
 
@@ -152,15 +159,56 @@ let with_trace_file file f =
   Format.printf "wrote %s (%d spans)@." file (List.length spans);
   v
 
+let arm_faults_or_die ~what = function
+  | None -> ()
+  | Some spec -> (
+    match Bw_obs.Fault.arm_spec spec with
+    | Ok () -> ()
+    | Error msg ->
+      Format.eprintf "bwc: bad %s: %s@." what msg;
+      exit 1)
+
 let optimize_cmd =
-  let run name scale machine print_program trace_out =
+  let run name scale machine print_program trace_out validate no_rollback fuel
+      faults =
+    arm_faults_or_die ~what:"--faults" faults;
     let p = or_die (load_program ~scale name) in
-    let p', report =
-      match trace_out with
-      | None -> Bw_transform.Strategy.run p
-      | Some file -> with_trace_file file (fun () -> Bw_transform.Strategy.run p)
+    let guard =
+      { Bw_transform.Guard.default_config with
+        Bw_transform.Guard.validate = Option.value validate ~default:0;
+        rollback = not no_rollback;
+        fuel }
+    in
+    let run_pipeline () = Bw_transform.Strategy.run_guarded ~guard p in
+    let outcome =
+      try
+        Ok
+          (match trace_out with
+          | None -> run_pipeline ()
+          | Some file -> with_trace_file file run_pipeline)
+      with Bw_transform.Guard.Guard_failed events -> Error events
+    in
+    let p', report, events =
+      match outcome with
+      | Ok v -> v
+      | Error events ->
+        (* fail-fast mode: the guard report is the diagnosis *)
+        Format.eprintf "bwc: optimization aborted by the guard:@.%a@."
+          Bw_transform.Guard.pp_report events;
+        exit 2
     in
     Format.printf "%a@.@." Bw_transform.Strategy.pp_report report;
+    let rolled_back =
+      List.exists
+        (fun (e : Bw_transform.Guard.event) ->
+          match e.Bw_transform.Guard.verdict with
+          | Bw_transform.Guard.Rolled_back _ -> true
+          | Bw_transform.Guard.Committed -> false)
+        events
+    in
+    if validate <> None || no_rollback || fuel <> None || faults <> None
+       || rolled_back
+    then Format.printf "%a@.@." Bw_transform.Guard.pp_report events;
     let before = Bw_exec.Run.simulate ~machine p in
     let after = Bw_exec.Run.simulate ~machine p' in
     let traffic r =
@@ -182,12 +230,51 @@ let optimize_cmd =
   let print_flag =
     Arg.(value & flag & info [ "p"; "print" ] ~doc:"Print the transformed program.")
   in
+  let validate_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some 1) (some int) None
+      & info [ "validate" ] ~docv:"TRIALS"
+          ~doc:
+            "Differentially validate every optimizer stage: run its input \
+             and output programs on both execution engines over $(docv) \
+             deterministic input sets (default 1) and roll the stage back \
+             on any disagreement.")
+  in
+  let no_rollback_flag =
+    Arg.(
+      value & flag
+      & info [ "no-rollback" ]
+          ~doc:
+            "Fail fast: abort with exit code 2 and a guard report on the \
+             first stage failure instead of rolling back and continuing.")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Bound the pipeline's step budget: each stage charges its \
+             statement count (validation trials charge four executions \
+             each); a stage that cannot pay is rolled back.")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Arm fault-injection sites, e.g. \
+             'guard.fuse=raise,guard.shrink=corrupt@nth:2' (same syntax as \
+             the BWC_FAULTS environment variable; see $(b,bwc faults)).")
+  in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Apply the bandwidth-reduction pipeline and compare")
     Term.(
       const run $ program_arg $ scale_arg $ machine_arg $ print_flag
-      $ trace_arg)
+      $ trace_arg $ validate_arg $ no_rollback_flag $ fuel_arg $ faults_arg)
 
 (* --- profile ---------------------------------------------------------------- *)
 
@@ -273,6 +360,34 @@ let validate_json_cmd =
          "Check that a bench/trace JSON artifact parses with the \
           harness's JSON reader (used by CI)")
     Term.(const run $ file_arg)
+
+(* --- faults ----------------------------------------------------------------- *)
+
+let faults_cmd =
+  let run () =
+    (* force registration of sites living in modules this command does
+       not otherwise touch *)
+    Bw_core.Harness.declare_fault_sites ();
+    ignore Bw_transform.Strategy.stage_names;
+    let armed = Bw_obs.Fault.armed () in
+    List.iter
+      (fun (name, doc) ->
+        let mark =
+          match List.assoc_opt name armed with
+          | Some spec -> Printf.sprintf "  [armed: %s]" spec
+          | None -> ""
+        in
+        Format.printf "%-24s %s%s@." name doc mark)
+      (Bw_obs.Fault.sites ())
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "List the registered fault-injection sites.  Arm them with \
+          BWC_FAULTS or optimize --faults using \
+          SITE=ACTION[@POLICY][,...] where ACTION is raise|corrupt and \
+          POLICY is nth:N, every:N or prob:P:SEED (default nth:1).")
+    Term.(const run $ const ())
 
 (* --- fuse ------------------------------------------------------------------- *)
 
@@ -375,6 +490,11 @@ let experiments_cmd =
     Term.(const run $ scale_arg $ only)
 
 let () =
+  (match Bw_obs.Fault.arm_from_env () with
+  | Ok () -> ()
+  | Error msg ->
+    Format.eprintf "bwc: bad BWC_FAULTS: %s@." msg;
+    exit 1);
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
     Cmd.info "bwc" ~version:"1.0"
@@ -386,13 +506,17 @@ let () =
   let group =
     Cmd.group ~default info
       [ list_cmd; show_cmd; analyze_cmd; optimize_cmd; profile_cmd; fuse_cmd;
-        advise_cmd; reuse_cmd; experiments_cmd; validate_json_cmd ]
+        advise_cmd; reuse_cmd; experiments_cmd; faults_cmd; validate_json_cmd ]
   in
   (* ~catch:false + our own handler: any escaped exception becomes a
-     one-line "bwc: ..." on stderr and exit code 1 — no backtraces. *)
+     one-line "bwc: ..." on stderr and exit code 1 — no backtraces.
+     Cmdliner's own CLI/internal error codes (124/125) are folded into
+     the documented usage-error code 1. *)
   exit
-    (try Cmd.eval ~catch:false group with
-    | e ->
+    (match Cmd.eval ~catch:false group with
+    | 124 | 125 -> 1
+    | code -> code
+    | exception e ->
       let msg =
         match String.index_opt (Printexc.to_string e) '\n' with
         | Some i -> String.sub (Printexc.to_string e) 0 i

@@ -1,31 +1,88 @@
-type outcome = { id : string; title : string; body : string; seconds : float }
+type status = Ok | Error of string
+
+type outcome = {
+  id : string;
+  title : string;
+  body : string;
+  seconds : float;
+  status : status;
+}
+
+let ok o = o.status = Ok
+let all_ok outcomes = List.for_all ok outcomes
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-let render_one ~scale (id, table_fn) =
-  (* one span per table — recorded in the rendering domain's buffer, so
-     the merged trace shows which domain ran which table and for how
-     long *)
+(* Fault-injection sites: "harness.table.<id>" fires inside one table's
+   rendering (confined to that table's outcome); "harness.worker" fires
+   in the worker loop between claiming an index and rendering it,
+   killing the whole domain — which is exactly the claimed-but-
+   unfinished case the post-join retry sweep exists for. *)
+let () =
+  Bw_obs.Fault.declare
+    ~doc:"per-table failure while rendering table <id> (harness.table.fig3 etc.)"
+    "harness.table.<id>";
+  Bw_obs.Fault.declare
+    ~doc:"kill a worker domain after it claims a table index"
+    "harness.worker"
+
+let declare_fault_sites () = ()
+
+(* One exception message, first line only — table errors render into
+   reports and JSON, and backtraces belong to neither. *)
+let error_message e =
+  let s = Printexc.to_string e in
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+(* Render one table; exceptions propagate (callers choose confinement). *)
+let render_raw ~scale (id, table_fn) =
   let span =
     Bw_obs.Trace.start ~cat:"table"
       ~attrs:[ ("id", Bw_obs.Trace.Str id) ]
       ("table:" ^ id)
   in
   let t0 = Unix.gettimeofday () in
-  let table = table_fn ?scale:(Some scale) () in
-  let body = Table.to_string table in
-  let seconds = Unix.gettimeofday () -. t0 in
-  Bw_obs.Trace.finish
-    ~attrs:[ ("seconds", Bw_obs.Trace.Float seconds) ]
-    span;
-  { id; title = table.Table.title; body; seconds }
+  match
+    Bw_obs.Fault.cut ("harness.table." ^ id);
+    table_fn ?scale:(Some scale) ()
+  with
+  | table ->
+    let body = Table.to_string table in
+    let seconds = Unix.gettimeofday () -. t0 in
+    Bw_obs.Trace.finish
+      ~attrs:[ ("seconds", Bw_obs.Trace.Float seconds) ]
+      span;
+    { id; title = table.Table.title; body; seconds; status = Ok }
+  | exception e ->
+    let seconds = Unix.gettimeofday () -. t0 in
+    Bw_obs.Trace.finish
+      ~attrs:
+        [ ("seconds", Bw_obs.Trace.Float seconds);
+          ("error", Bw_obs.Trace.Str (error_message e)) ]
+      span;
+    raise e
+
+(* A raising table thunk is that table's problem only: catch everything
+   into an [Error] outcome so sibling tables render regardless. *)
+let render_protected ~scale ((id, _) as exp) =
+  match render_raw ~scale exp with
+  | o -> o
+  | exception e ->
+    Bw_obs.Metrics.incr (Bw_obs.Metrics.counter "harness.table_errors");
+    { id;
+      title = "";
+      body = "";
+      seconds = 0.0;
+      status = Error (error_message e) }
 
 let run ?jobs ?(scale = 1) experiments =
   let n = List.length experiments in
   let jobs =
     match jobs with Some j -> max 1 j | None -> min (default_jobs ()) n
   in
-  if jobs <= 1 || n <= 1 then List.map (render_one ~scale) experiments
+  if jobs <= 1 || n <= 1 then List.map (render_protected ~scale) experiments
   else begin
     let inputs = Array.of_list experiments in
     let results = Array.make n None in
@@ -38,7 +95,8 @@ let run ?jobs ?(scale = 1) experiments =
       let rec go () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          results.(i) <- Some (render_one ~scale inputs.(i));
+          Bw_obs.Fault.cut "harness.worker";
+          results.(i) <- Some (render_protected ~scale inputs.(i));
           go ()
         end
       in
@@ -47,31 +105,69 @@ let run ?jobs ?(scale = 1) experiments =
     let domains =
       Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
     in
-    worker ();
-    Array.iter Domain.join domains;
-    Array.to_list results
-    |> List.map (function
-         | Some r -> r
-         | None -> failwith "Harness.run: missing result")
+    (* The calling domain is a worker too; a dying domain (injected
+       fault, asynchronous exception) must not take the run down — its
+       claimed-but-unfinished index is swept up below. *)
+    (try worker () with _ -> ());
+    Array.iter
+      (fun d -> try Domain.join d with _ -> ())
+      domains;
+    (* Indices a dead domain claimed but never finished: retry on this
+       (surviving) domain, up to 2 times, before recording an error. *)
+    let rec retry i attempts =
+      match render_raw ~scale inputs.(i) with
+      | o -> o
+      | exception e ->
+        if attempts < 2 then begin
+          Bw_obs.Metrics.incr (Bw_obs.Metrics.counter "harness.retries");
+          retry i (attempts + 1)
+        end
+        else begin
+          Bw_obs.Metrics.incr (Bw_obs.Metrics.counter "harness.table_errors");
+          { id = fst inputs.(i);
+            title = "";
+            body = "";
+            seconds = 0.0;
+            status = Error (error_message e) }
+        end
+    in
+    Array.to_list
+      (Array.mapi
+         (fun i -> function
+           | Some r -> r
+           | None ->
+             Bw_obs.Metrics.incr (Bw_obs.Metrics.counter "harness.retries");
+             retry i 1)
+         results)
   end
 
 let json_of_results ?trace ~scale ~jobs ~micro outcomes =
   let base =
     [
-      ("schema_version", Bench_json.Int 2);
+      ("schema_version", Bench_json.Int 3);
       ("scale", Bench_json.Int scale);
       ("jobs", Bench_json.Int jobs);
       ( "tables",
         Bench_json.List
           (List.map
              (fun o ->
-               Bench_json.Obj
+               let fields =
                  [
                    ("id", Bench_json.String o.id);
                    ("title", Bench_json.String o.title);
                    ("body", Bench_json.String o.body);
                    ("seconds", Bench_json.Float o.seconds);
-                 ])
+                   ( "status",
+                     Bench_json.String
+                       (match o.status with Ok -> "ok" | Error _ -> "error") );
+                 ]
+               in
+               let error_field =
+                 match o.status with
+                 | Ok -> []
+                 | Error msg -> [ ("error", Bench_json.String msg) ]
+               in
+               Bench_json.Obj (fields @ error_field))
              outcomes) );
       ( "micro",
         Bench_json.List

@@ -455,7 +455,7 @@ and compile_stmts ctx stmts : unit -> unit =
     let compiled = Array.of_list fs in
     fun () -> Array.iter (fun f -> f ()) compiled
 
-let run ?sink ?base_of (program : program) =
+let run ?sink ?base_of ?(input_offset = 0) (program : program) =
   let sink = match sink with Some s -> s | None -> Interp.discard_sink () in
   Bw_ir.Check.check_exn program;
   let base_of =
@@ -490,7 +490,11 @@ let run ?sink ?base_of (program : program) =
           strides = column_major_strides (Array.of_list d.dims) })
     program.decls;
   let ctx =
-    { vars; indices = Hashtbl.create 8; sink; input_counter = 0; prints = [] }
+    { vars;
+      indices = Hashtbl.create 8;
+      sink;
+      input_counter = input_offset;
+      prints = [] }
   in
   let main = compile_stmts ctx program.body in
   main ();

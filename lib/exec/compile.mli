@@ -14,9 +14,11 @@
 
 exception Runtime_error of string
 
-(** [run ?sink ?base_of p] — same contract as {!Interp.run}. *)
+(** [run ?sink ?base_of ?input_offset p] — same contract as
+    {!Interp.run}. *)
 val run :
   ?sink:Interp.sink ->
   ?base_of:(string -> int) ->
+  ?input_offset:int ->
   Bw_ir.Ast.program ->
   Interp.observation

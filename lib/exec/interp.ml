@@ -382,7 +382,7 @@ let rec exec env stmt =
     done;
     Hashtbl.remove env.indices index
 
-let run ?sink ?base_of (program : program) =
+let run ?sink ?base_of ?(input_offset = 0) (program : program) =
   let sink = match sink with Some s -> s | None -> discard_sink () in
   Bw_ir.Check.check_exn program;
   let base_of =
@@ -415,7 +415,7 @@ let run ?sink ?base_of (program : program) =
     { vars;
       indices = Hashtbl.create 8;
       sink;
-      input_counter = 0;
+      input_counter = input_offset;
       prints = [] }
   in
   List.iter (exec env) program.body;

@@ -73,10 +73,19 @@ val flush_sink : sink -> unit
     generation; it defaults to a packed layout.  Addresses of events are
     virtual — callers apply their own translation.
 
+    [input_offset] starts the deterministic [read()] stream at that
+    counter value instead of 0, giving differential-validation trials
+    distinct (but reproducible) input sets.  Both engines honour it
+    identically.
+
     @raise Runtime_error on out-of-bounds subscripts, non-positive steps,
     division by zero, or reading an undeclared input. *)
 val run :
-  ?sink:sink -> ?base_of:(string -> int) -> Bw_ir.Ast.program -> observation
+  ?sink:sink ->
+  ?base_of:(string -> int) ->
+  ?input_offset:int ->
+  Bw_ir.Ast.program ->
+  observation
 
 (** The deterministic semantics shared with {!Compile}: the opaque
     intrinsic function, initial element values, and the [read()] input

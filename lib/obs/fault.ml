@@ -1,0 +1,219 @@
+type policy =
+  | Nth of int
+  | Every of int
+  | Probability of float * int
+
+type action = Raise | Corrupt
+
+exception Injected of string
+
+type armed_state = {
+  action : action;
+  policy : policy;
+  mutable rng : int;  (** LCG state for [Probability] *)
+}
+
+type site = {
+  doc : string;
+  mutable hit_count : int;
+  mutable fire_count : int;
+  mutable armed : armed_state option;
+}
+
+(* One process-wide registry.  Sites are crossed from worker domains
+   (the harness) as well as the main domain, so every access goes
+   through [lock]; crossings are at stage/table granularity, never in a
+   per-access loop, so a mutex is plenty. *)
+let registry : (string, site) Hashtbl.t = Hashtbl.create 16
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let find_or_add ?(doc = "") name =
+  match Hashtbl.find_opt registry name with
+  | Some s -> s
+  | None ->
+    let s = { doc; hit_count = 0; fire_count = 0; armed = None } in
+    Hashtbl.add registry name s;
+    s
+
+let declare ?(doc = "") name = with_lock (fun () -> ignore (find_or_add ~doc name))
+
+let sites () =
+  with_lock (fun () ->
+      Hashtbl.fold (fun name s acc -> (name, s.doc) :: acc) registry []
+      |> List.sort compare)
+
+let validate_policy = function
+  | Nth n when n <= 0 ->
+    invalid_arg (Printf.sprintf "Fault.arm: nth count must be positive (got %d)" n)
+  | Every n when n <= 0 ->
+    invalid_arg (Printf.sprintf "Fault.arm: every count must be positive (got %d)" n)
+  | Probability (p, _) when not (p >= 0.0 && p <= 1.0) ->
+    invalid_arg (Printf.sprintf "Fault.arm: probability %g outside [0,1]" p)
+  | _ -> ()
+
+let seed_mix seed = (seed * 2654435761) land 0x3FFFFFFF
+
+let arm name action policy =
+  validate_policy policy;
+  with_lock (fun () ->
+      let s = find_or_add name in
+      let rng = match policy with Probability (_, seed) -> seed_mix seed | _ -> 0 in
+      s.armed <- Some { action; policy; rng })
+
+let disarm_all () =
+  with_lock (fun () -> Hashtbl.iter (fun _ s -> s.armed <- None) registry)
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter
+        (fun _ s ->
+          s.armed <- None;
+          s.hit_count <- 0;
+          s.fire_count <- 0)
+        registry)
+
+(* --- spec parsing ---------------------------------------------------- *)
+
+let action_to_string = function Raise -> "raise" | Corrupt -> "corrupt"
+
+let policy_to_string = function
+  | Nth n -> Printf.sprintf "nth:%d" n
+  | Every n -> Printf.sprintf "every:%d" n
+  | Probability (p, seed) -> Printf.sprintf "prob:%g:%d" p seed
+
+let armed () =
+  with_lock (fun () ->
+      Hashtbl.fold
+        (fun name s acc ->
+          match s.armed with
+          | None -> acc
+          | Some a ->
+            ( name,
+              Printf.sprintf "%s@%s" (action_to_string a.action)
+                (policy_to_string a.policy) )
+            :: acc)
+        registry []
+      |> List.sort compare)
+
+let parse_policy s =
+  match String.split_on_char ':' s with
+  | [ "nth"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> Ok (Nth n)
+    | _ -> Error (Printf.sprintf "bad nth count %S" n))
+  | [ "every"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> Ok (Every n)
+    | _ -> Error (Printf.sprintf "bad every count %S" n))
+  | [ "prob"; p; seed ] -> (
+    match (float_of_string_opt p, int_of_string_opt seed) with
+    | Some p, Some seed when p >= 0.0 && p <= 1.0 -> Ok (Probability (p, seed))
+    | _ -> Error (Printf.sprintf "bad probability spec %S:%S" p seed))
+  | _ ->
+    Error
+      (Printf.sprintf
+         "bad policy %S (expected nth:N, every:N or prob:P:SEED)" s)
+
+let parse_one item =
+  match String.index_opt item '=' with
+  | None -> Error (Printf.sprintf "missing '=' in fault spec %S" item)
+  | Some i ->
+    let site = String.sub item 0 i in
+    let rest = String.sub item (i + 1) (String.length item - i - 1) in
+    if site = "" then Error (Printf.sprintf "empty site name in %S" item)
+    else
+      let action_s, policy_s =
+        match String.index_opt rest '@' with
+        | None -> (rest, None)
+        | Some j ->
+          ( String.sub rest 0 j,
+            Some (String.sub rest (j + 1) (String.length rest - j - 1)) )
+      in
+      let action =
+        match action_s with
+        | "raise" -> Ok Raise
+        | "corrupt" -> Ok Corrupt
+        | a -> Error (Printf.sprintf "bad action %S (expected raise or corrupt)" a)
+      in
+      match action with
+      | Error e -> Error e
+      | Ok action -> (
+        match policy_s with
+        | None -> Ok (site, action, Nth 1)
+        | Some p -> (
+          match parse_policy p with
+          | Ok policy -> Ok (site, action, policy)
+          | Error e -> Error e))
+
+let arm_spec spec =
+  let items =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | item :: rest -> (
+      match parse_one item with
+      | Error e -> Error e
+      | Ok (site, action, policy) ->
+        arm site action policy;
+        go rest)
+  in
+  go items
+
+let arm_from_env () =
+  match Sys.getenv_opt "BWC_FAULTS" with
+  | None | Some "" -> Ok ()
+  | Some spec -> arm_spec spec
+
+(* --- crossing -------------------------------------------------------- *)
+
+(* Park–Miller-ish LCG over 31 bits: deterministic, dependency-free. *)
+let lcg_next state = (state * 48271 + 1) land 0x3FFFFFFF
+let lcg_float state = float_of_int state /. float_of_int 0x40000000
+
+let check name =
+  let fired =
+    with_lock (fun () ->
+        let s = find_or_add name in
+        s.hit_count <- s.hit_count + 1;
+        match s.armed with
+        | None -> None
+        | Some a ->
+          let fire =
+            match a.policy with
+            | Nth n -> s.hit_count = n
+            | Every n -> s.hit_count mod n = 0
+            | Probability (p, _) ->
+              a.rng <- lcg_next a.rng;
+              lcg_float a.rng < p
+          in
+          if fire then begin
+            s.fire_count <- s.fire_count + 1;
+            Some a.action
+          end
+          else None)
+  in
+  (match fired with
+  | Some _ -> Metrics.incr (Metrics.counter ("fault." ^ name ^ ".fires"))
+  | None -> ());
+  fired
+
+let cut name = match check name with Some _ -> raise (Injected name) | None -> ()
+
+let hits name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some s -> s.hit_count
+      | None -> 0)
+
+let fires name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some s -> s.fire_count
+      | None -> 0)

@@ -1,0 +1,82 @@
+(** Deterministic fault injection.
+
+    The robustness machinery (transactional optimizer stages, the
+    crash-tolerant bench harness) is only trustworthy if its recovery
+    paths actually run, so this module lets tests and CI arm named
+    faults at well-known sites.  A {e site} is a string like
+    ["guard.fuse"] or ["harness.table.fig3"]; code crosses a site by
+    calling {!check} (or {!cut}), which is a single mutex-guarded
+    counter bump when nothing is armed there.
+
+    Trigger policies are deterministic given the site's hit sequence:
+    [Nth n] fires exactly once, on the [n]-th crossing; [Every n] fires
+    on every [n]-th crossing; [Probability (p, seed)] draws from a
+    seeded LCG so the fire pattern is reproducible run to run.  Sites
+    may be hit concurrently from several domains — the registry is
+    mutex-protected, and hit ordering (hence which domain a fault lands
+    on) is the only nondeterminism.
+
+    Armed faults carry an {e action} the crossing code interprets:
+    [Raise] means raise {!Injected}; [Corrupt] means apply a
+    site-specific corruption (the optimizer guard mutates the stage's
+    output IR) — sites with no meaningful corruption treat it as
+    [Raise].
+
+    The environment/CLI syntax understood by {!arm_spec} is a
+    comma-separated list of [SITE=ACTION[@POLICY]]:
+
+    {[ BWC_FAULTS="guard.fuse=raise,guard.shrink=corrupt@nth:2" ]}
+
+    where [ACTION] is [raise] or [corrupt] and [POLICY] is [nth:N],
+    [every:N] or [prob:P:SEED] (default [nth:1]). *)
+
+type policy =
+  | Nth of int  (** fire exactly once, on the n-th crossing (1-based) *)
+  | Every of int  (** fire on every n-th crossing *)
+  | Probability of float * int  (** [(p, seed)]: seeded Bernoulli draw *)
+
+type action = Raise | Corrupt
+
+(** Raised (by crossing code) when an armed [Raise] fault fires. *)
+exception Injected of string
+
+(** Register a site so [bwc faults] can list it before anything crosses
+    it.  Idempotent; the doc string of the first declaration wins. *)
+val declare : ?doc:string -> string -> unit
+
+(** Every known site (declared or crossed), sorted by name, with docs. *)
+val sites : unit -> (string * string) list
+
+(** [arm site action policy] arms a fault; replaces any previous arming
+    of the site.  Raises [Invalid_argument] on a non-positive [Nth]/
+    [Every] count or a probability outside [0,1]. *)
+val arm : string -> action -> policy -> unit
+
+(** Parse and arm a [SITE=ACTION[@POLICY]][,...] spec (see above). *)
+val arm_spec : string -> (unit, string) result
+
+(** Arm from the [BWC_FAULTS] environment variable if set. *)
+val arm_from_env : unit -> (unit, string) result
+
+(** Currently armed sites as [(site, rendered spec)] pairs. *)
+val armed : unit -> (string * string) list
+
+val disarm_all : unit -> unit
+
+(** Disarm everything and zero all hit/fire counters; declared sites
+    remain known. *)
+val reset : unit -> unit
+
+(** [check site] records a crossing and returns the armed action if the
+    site's policy fires on this crossing.  Also bumps the
+    [fault.<site>.fires] metric when it fires. *)
+val check : string -> action option
+
+(** [cut site] is [check] for sites with no corruption semantics: both
+    [Raise] and [Corrupt] raise {!Injected}. *)
+val cut : string -> unit
+
+(** Crossings / fires recorded at a site since the last {!reset}. *)
+val hits : string -> int
+
+val fires : string -> int

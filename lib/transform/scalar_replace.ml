@@ -83,8 +83,15 @@ let rec forward_in_body ~decls ~new_decls ~counter stmts =
         @ [ probe_temp ]
       in
       let temp = Bw_ir.Ast_util.fresh_name ~taken (a ^ "_val") in
+      (* the temp must carry the array's element type: forwarding an
+         integer array through a float scalar produces ill-typed IR *)
+      let dtype =
+        match List.find_opt (fun d -> d.var_name = a) decls with
+        | Some d -> d.dtype
+        | None -> F64
+      in
       new_decls :=
-        !new_decls @ [ { var_name = temp; dtype = F64; dims = []; init = Init_zero } ];
+        !new_decls @ [ { var_name = temp; dtype; dims = []; init = Init_zero } ];
       incr counter;
       let rest', _ = forward_in_tail a subs temp rest in
       Assign (Lscalar temp, rhs)

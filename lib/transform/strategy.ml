@@ -18,6 +18,20 @@ let all_on = { fuse = true; contract = true; shrink = true; store_elim = true }
 let fusion_only =
   { fuse = true; contract = false; shrink = false; store_elim = false }
 
+(* Every guarded stage has a fault-injection site, declared eagerly so
+   `bwc faults` can list them before anything is armed. *)
+let stage_names =
+  [ "input"; "fuse"; "contract"; "shrink"; "forward"; "store-elim";
+    "contract-tidy" ]
+
+let () =
+  List.iter
+    (fun n ->
+      Bw_obs.Fault.declare
+        ~doc:(Printf.sprintf "optimizer stage '%s' (raise or corrupt)" n)
+        ("guard." ^ n))
+    stage_names
+
 (* Run one pass under observability: a "pass:<name>" span carrying the
    program's static statistics before and after (statement counts,
    distinct arrays, predicted balance — see Ir_stats), plus a
@@ -50,39 +64,62 @@ let pass name f p =
 
 let count name n = Bw_obs.Metrics.incr ~by:n (Bw_obs.Metrics.counter name)
 
-let run ?(options = all_on) (p : Bw_ir.Ast.program) =
+let run_guarded ?(options = all_on) ?(guard = Guard.default_config)
+    (p : Bw_ir.Ast.program) =
   Bw_obs.Trace.with_span ~cat:"optimizer"
     ("optimize:" ^ p.Bw_ir.Ast.prog_name)
   @@ fun () ->
+  let g = Guard.create guard in
+  (* The "input" pseudo-stage re-checks the program we were handed (and,
+     under validation, establishes that both engines agree on it) before
+     any transform gets to run.  A program that fails here flows through
+     untouched: every later stage would roll back against it anyway. *)
+  let p, () = Guard.stage g ~name:"input" ~default:() (fun p -> (p, ())) p in
   let before = List.length p.Bw_ir.Ast.body in
   let p =
-    if options.fuse then fst (pass "fuse" (fun p -> (Fuse.greedy p, ())) p)
+    if options.fuse then
+      fst
+        (Guard.stage g ~name:"fuse" ~default:()
+           (pass "fuse" (fun p -> (Fuse.greedy p, ())))
+           p)
     else p
   in
   let fused_loops = before - List.length p.Bw_ir.Ast.body in
   let p, contracted =
-    if options.contract then pass "contract" Contract.contract_arrays p
+    if options.contract then
+      Guard.stage g ~name:"contract" ~default:[]
+        (pass "contract" Contract.contract_arrays)
+        p
     else (p, [])
   in
   let p, shrink_plans =
-    if options.shrink then pass "shrink" Shrink.shrink_all p else (p, [])
+    if options.shrink then
+      Guard.stage g ~name:"shrink" ~default:[] (pass "shrink" Shrink.shrink_all) p
+    else (p, [])
   in
   let p, forwarded =
-    if options.store_elim then pass "forward" Scalar_replace.forward_stores p
+    if options.store_elim then
+      Guard.stage g ~name:"forward" ~default:0
+        (pass "forward" Scalar_replace.forward_stores)
+        p
     else (p, 0)
   in
   let p, stores_eliminated =
     if options.store_elim then
-      pass "store-elim" Store_elim.eliminate_dead_stores p
+      Guard.stage g ~name:"store-elim" ~default:[]
+        (pass "store-elim" Store_elim.eliminate_dead_stores)
+        p
     else (p, [])
   in
   (* The pipeline may leave a forwarding temp whose store was the only
      consumer; one more contraction pass tidies that up. *)
   let p, contracted2 =
-    if options.contract then pass "contract-tidy" Contract.contract_arrays p
+    if options.contract then
+      Guard.stage g ~name:"contract-tidy" ~default:[]
+        (pass "contract-tidy" Contract.contract_arrays)
+        p
     else (p, [])
   in
-  Bw_ir.Check.check_exn p;
   count "pass.fuse.loops_fused" fused_loops;
   count "pass.contract.arrays" (List.length contracted + List.length contracted2);
   count "pass.shrink.plans" (List.length shrink_plans);
@@ -93,7 +130,12 @@ let run ?(options = all_on) (p : Bw_ir.Ast.program) =
       contracted = contracted @ contracted2;
       shrink_plans;
       stores_eliminated;
-      forwarded } )
+      forwarded },
+    Guard.events g )
+
+let run ?options p =
+  let p', report, _events = run_guarded ?options p in
+  (p', report)
 
 let pp_report ppf r =
   Format.fprintf ppf

@@ -1,7 +1,15 @@
 (** The paper's end-to-end compiler strategy: fuse loops globally, then
     reduce storage (contract, shrink, peel), then eliminate the remaining
     write-backs.  Each stage is optional so the ablation benchmarks can
-    switch pieces off. *)
+    switch pieces off.
+
+    Every stage runs inside a {!Guard} transaction: its output is
+    re-checked, its exceptions are confined, and (under a validating
+    {!Guard.config}) its semantics are differentially validated on both
+    execution engines — a failing stage is rolled back and the pipeline
+    continues from the stage's input.  {!run} therefore never raises on
+    a misbehaving pass and never returns a program that failed its
+    checks; the worst case is returning the input unchanged. *)
 
 type stage_report = {
   fused_loops : int;  (** top-level statements removed by fusion *)
@@ -21,9 +29,29 @@ type options = {
 val all_on : options
 val fusion_only : options
 
+(** The guarded stages in pipeline order (["input"] first); each has a
+    fault-injection site named [guard.<stage>]. *)
+val stage_names : string list
+
 (** [run ?options p] applies the pipeline, returning the transformed
-    program and a report of what each stage did.  The result always
-    type-checks; semantic preservation is the test suite's burden. *)
+    program and a report of what each stage did.  Runs under
+    {!Guard.default_config}: no differential validation (and so no
+    execution overhead), but per-stage checking and rollback — a result
+    always type-checks provided [p] does, and a raising or
+    check-breaking stage contributes nothing rather than aborting the
+    run. *)
 val run : ?options:options -> Bw_ir.Ast.program -> Bw_ir.Ast.program * stage_report
+
+(** [run_guarded ?options ?guard p] additionally returns the guard's
+    per-stage events (commits and rollbacks, in pipeline order) and
+    honours a custom {!Guard.config} — differential validation trials,
+    float tolerance, a fuel budget, and fail-fast mode.
+    @raise Guard.Guard_failed on the first stage failure when
+    [guard.rollback] is [false]. *)
+val run_guarded :
+  ?options:options ->
+  ?guard:Guard.config ->
+  Bw_ir.Ast.program ->
+  Bw_ir.Ast.program * stage_report * Guard.event list
 
 val pp_report : Format.formatter -> stage_report -> unit

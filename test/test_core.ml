@@ -292,7 +292,8 @@ let test_bench_json_roundtrip () =
         { Bw_core.Harness.id;
           title = "title of " ^ id;
           body = "body\n";
-          seconds = 0.25
+          seconds = 0.25;
+          status = Bw_core.Harness.Ok
         })
       Bw_core.Experiments.all
   in
@@ -302,10 +303,20 @@ let test_bench_json_roundtrip () =
       outcomes
   in
   let parsed = J.parse (J.to_string doc) in
-  check (Alcotest.option Alcotest.int) "schema_version" (Some 2)
+  check (Alcotest.option Alcotest.int) "schema_version" (Some 3)
     (Option.bind (J.member "schema_version" parsed) (function
       | J.Int i -> Some i
       | _ -> None));
+  (match Option.bind (J.member "tables" parsed) J.to_list with
+  | None -> Alcotest.fail "tables is not a list"
+  | Some tables ->
+    List.iter
+      (fun t ->
+        check (Alcotest.option Alcotest.string) "status ok" (Some "ok")
+          (Option.bind (J.member "status" t) J.to_str);
+        check bool "no error field on ok tables" true
+          (J.member "error" t = None))
+      tables);
   let ids_in_json =
     match Option.bind (J.member "tables" parsed) J.to_list with
     | None -> Alcotest.fail "tables is not a list"
@@ -359,6 +370,96 @@ let test_harness_order () =
         b.Bw_core.Harness.body)
     serial parallel
 
+let mk_table id =
+  ( id,
+    fun ?scale () ->
+      ignore scale;
+      Bw_core.Table.make ~title:id ~header:[ "c" ] [ [ id ] ] )
+
+let mk_raiser id msg =
+  (id, fun ?scale () -> ignore scale; failwith msg)
+
+(* Regression for the old `failwith "Harness.run: missing result"` /
+   dead-domain behaviour: one raising thunk must produce an Error
+   outcome for that table only, and every sibling table must render
+   byte-identically to a serial run — under both jobs=1 and jobs=4. *)
+let test_harness_raising_thunk () =
+  let experiments =
+    [ mk_table "a1"; mk_raiser "boom" "table exploded"; mk_table "a2";
+      mk_table "a3"; mk_table "a4" ]
+  in
+  let good = Bw_core.Harness.run ~jobs:1 [ mk_table "a1"; mk_table "a2"; mk_table "a3"; mk_table "a4" ] in
+  List.iter
+    (fun jobs ->
+      let outcomes = Bw_core.Harness.run ~jobs experiments in
+      check Alcotest.int "five outcomes" 5 (List.length outcomes);
+      check (Alcotest.list Alcotest.string) "order preserved"
+        [ "a1"; "boom"; "a2"; "a3"; "a4" ]
+        (List.map (fun o -> o.Bw_core.Harness.id) outcomes);
+      (match (List.nth outcomes 1).Bw_core.Harness.status with
+      | Bw_core.Harness.Error msg ->
+        check bool "message mentions the failure" true
+          (contains ~affix:"table exploded" msg)
+      | Bw_core.Harness.Ok -> Alcotest.fail "raising thunk reported Ok");
+      check bool "all_ok is false" false (Bw_core.Harness.all_ok outcomes);
+      let siblings =
+        List.filter (fun o -> o.Bw_core.Harness.id <> "boom") outcomes
+      in
+      List.iter2
+        (fun s g ->
+          check bool (s.Bw_core.Harness.id ^ " ok") true (Bw_core.Harness.ok s);
+          check Alcotest.string "sibling body matches serial run"
+            g.Bw_core.Harness.body s.Bw_core.Harness.body)
+        siblings good)
+    [ 1; 4 ]
+
+(* A worker domain that dies outright (injected harness.worker fault)
+   leaves a claimed-but-unfinished slot; the post-join sweep must retry
+   it on a surviving domain so every table still comes back Ok. *)
+let test_harness_worker_death_retried () =
+  Bw_obs.Fault.reset ();
+  Bw_obs.Fault.arm "harness.worker" Bw_obs.Fault.Raise (Bw_obs.Fault.Nth 1);
+  Fun.protect ~finally:Bw_obs.Fault.reset @@ fun () ->
+  let experiments = List.map mk_table [ "w1"; "w2"; "w3"; "w4"; "w5" ] in
+  let outcomes = Bw_core.Harness.run ~jobs:3 experiments in
+  check Alcotest.int "five outcomes" 5 (List.length outcomes);
+  check bool "all recovered" true (Bw_core.Harness.all_ok outcomes);
+  check (Alcotest.list Alcotest.string) "order preserved"
+    [ "w1"; "w2"; "w3"; "w4"; "w5" ]
+    (List.map (fun o -> o.Bw_core.Harness.id) outcomes);
+  check bool "the fault actually fired" true
+    (Bw_obs.Fault.fires "harness.worker" = 1)
+
+(* Error outcomes flow into the JSON document as status/error fields
+   and survive a print/parse round-trip next to ok tables. *)
+let test_bench_json_error_outcomes () =
+  let module J = Bw_core.Bench_json in
+  let outcomes =
+    [ { Bw_core.Harness.id = "good";
+        title = "t";
+        body = "b\n";
+        seconds = 0.5;
+        status = Bw_core.Harness.Ok };
+      { Bw_core.Harness.id = "bad";
+        title = "";
+        body = "";
+        seconds = 0.0;
+        status = Bw_core.Harness.Error "Failure(\"kaboom\")" } ]
+  in
+  let doc = Bw_core.Harness.json_of_results ~scale:1 ~jobs:2 ~micro:[] outcomes in
+  let parsed = J.parse (J.to_string doc) in
+  match Option.bind (J.member "tables" parsed) J.to_list with
+  | Some [ good; bad ] ->
+    check (Alcotest.option Alcotest.string) "good status" (Some "ok")
+      (Option.bind (J.member "status" good) J.to_str);
+    check bool "good has no error" true (J.member "error" good = None);
+    check (Alcotest.option Alcotest.string) "bad status" (Some "error")
+      (Option.bind (J.member "status" bad) J.to_str);
+    check (Alcotest.option Alcotest.string) "bad error message"
+      (Some "Failure(\"kaboom\")")
+      (Option.bind (J.member "error" bad) J.to_str)
+  | _ -> Alcotest.fail "expected two tables"
+
 (* Property: whatever bytes end up in an outcome's id/title/body —
    quotes, backslashes, newlines, control characters — the bench JSON
    document must round-trip them exactly through print + parse. *)
@@ -380,7 +481,11 @@ let prop_bench_json_string_roundtrip =
     (fun (id, title, body) ->
       let doc =
         Bw_core.Harness.json_of_results ~scale:1 ~jobs:1 ~micro:[]
-          [ { Bw_core.Harness.id; title; body; seconds = 0.0 } ]
+          [ { Bw_core.Harness.id;
+              title;
+              body;
+              seconds = 0.0;
+              status = Bw_core.Harness.Ok } ]
       in
       let parsed = J.parse (J.to_string doc) in
       match Option.bind (J.member "tables" parsed) J.to_list with
@@ -426,7 +531,13 @@ let suites =
         QCheck_alcotest.to_alcotest ~long:false
           prop_bench_json_string_roundtrip;
         Alcotest.test_case "harness deterministic order" `Quick
-          test_harness_order ] );
+          test_harness_order;
+        Alcotest.test_case "raising thunk confined to its table" `Quick
+          test_harness_raising_thunk;
+        Alcotest.test_case "worker domain death retried" `Quick
+          test_harness_worker_death_retried;
+        Alcotest.test_case "error outcomes in json" `Quick
+          test_bench_json_error_outcomes ] );
     ( "core.advisor",
       [ Alcotest.test_case "fig7 diagnosis" `Slow test_advisor_fig7;
         Alcotest.test_case "quiet when nothing helps" `Quick test_advisor_quiet_when_nothing_helps;

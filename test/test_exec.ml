@@ -136,6 +136,31 @@ let test_read_input_deterministic () =
   let obs2 = Interp.run (Parser.parse_program_exn src) in
   check bool "reproducible inputs" true (Interp.equal_observation obs1 obs2)
 
+(* input_offset shifts the deterministic read() stream: offset 0 is the
+   default stream, a nonzero offset yields different (still
+   deterministic) inputs, and both engines agree at any offset. *)
+let test_input_offset_shifts_stream () =
+  let src =
+    {|
+    program inputs
+      real a[4]
+      live_out a
+      for i = 1, 4
+        read(a[i])
+      end for
+    end
+    |}
+  in
+  let p = Parser.parse_program_exn src in
+  let o_default = Interp.run p in
+  check bool "offset 0 is the default stream" true
+    (Interp.equal_observation o_default (Interp.run ~input_offset:0 p));
+  let o_shifted = Interp.run ~input_offset:7919 p in
+  check bool "nonzero offset changes the inputs" false
+    (Interp.equal_observation o_default o_shifted);
+  check bool "compiled engine agrees at the offset" true
+    (Interp.equal_observation o_shifted (Compile.run ~input_offset:7919 p))
+
 let test_intrinsic_deterministic () =
   let src =
     {|
@@ -348,7 +373,22 @@ let qcheck_cases =
     Test.make ~name:"loads scale linearly with trip count" ~count:30
       (int_range 1 100) (fun n ->
         let _, c = Run.observe (section21_write_loop n) in
-        c.Bw_machine.Counters.loads = n && c.Bw_machine.Counters.stores = n) ]
+        c.Bw_machine.Counters.loads = n && c.Bw_machine.Counters.stores = n);
+    (* Differential property over the two engines: on any generated
+       program (and any read() stream offset) the tree-walking
+       interpreter and the closure-compiling engine must produce equal
+       observations — the oracle the optimizer guard's validation
+       stands on. *)
+    Test.make ~name:"interpreter and compiled engine agree" ~count:25
+      (pair (int_range 0 10_000) (int_range 0 3))
+      (fun (seed, offset_k) ->
+        let p =
+          Bw_workloads.Random_programs.generate ~seed ~loops:4 ~arrays:3 ~n:48
+        in
+        let input_offset = offset_k * 7919 in
+        Interp.equal_observation
+          (Interp.run ~input_offset p)
+          (Compile.run ~input_offset p)) ]
 
 let suites =
   [ ( "exec.semantics",
@@ -359,6 +399,7 @@ let suites =
         Alcotest.test_case "out of bounds" `Quick test_out_of_bounds;
         Alcotest.test_case "zero subscript" `Quick test_zero_subscript_rejected;
         Alcotest.test_case "read() deterministic" `Quick test_read_input_deterministic;
+        Alcotest.test_case "input_offset shifts stream" `Quick test_input_offset_shifts_stream;
         Alcotest.test_case "intrinsics deterministic" `Quick test_intrinsic_deterministic;
         Alcotest.test_case "live-out snapshot" `Quick test_live_out_snapshot ] );
     ( "exec.counters",

@@ -174,12 +174,13 @@ let test_strategy_emits_pass_spans () =
   Trace.with_enabled true (fun () ->
       ignore (Bw_transform.Strategy.run p));
   let spans = Trace.collect () in
-  (* exactly one span per pass, nested under the optimize root *)
+  (* exactly one span per pass, nested under its guard stage span, which
+     nests under the optimize root *)
   List.iter
     (fun name ->
       match spans_named name spans with
       | [ s ] ->
-        check int (name ^ " nested") 1 s.Trace.depth;
+        check int (name ^ " nested under guard") 2 s.Trace.depth;
         List.iter
           (fun key ->
             check bool
@@ -191,6 +192,15 @@ let test_strategy_emits_pass_spans () =
             "after.predicted_balance" ]
       | l -> Alcotest.failf "%s: expected 1 span, got %d" name (List.length l))
     all_passes;
+  (* one committed guard span per stage (input + 6 passes) *)
+  let guard_spans = List.filter (fun s -> s.Trace.cat = "guard") spans in
+  check int "one guard span per stage" 7 (List.length guard_spans);
+  List.iter
+    (fun s ->
+      check int (s.Trace.name ^ " under root") 1 s.Trace.depth;
+      check bool (s.Trace.name ^ " committed") true
+        (find_attr s "verdict" = Some (Trace.Str "committed")))
+    guard_spans;
   check int "plus the optimize root" 1
     (List.length
        (List.filter
@@ -269,6 +279,91 @@ let test_chrome_export_roundtrip () =
   check (Alcotest.option Alcotest.int) "int attr" (Some 3)
     (Option.bind (J.member "n" args) (function J.Int i -> Some i | _ -> None))
 
+(* --- Fault injection -------------------------------------------------------- *)
+
+module Fault = Bw_obs.Fault
+
+let test_fault_policies_deterministic () =
+  Fault.reset ();
+  Fun.protect ~finally:Fault.reset @@ fun () ->
+  (* Nth fires exactly once, on the n-th crossing *)
+  Fault.arm "t.nth" Fault.Raise (Fault.Nth 3);
+  let fired =
+    List.init 6 (fun _ -> Fault.check "t.nth" <> None)
+  in
+  check (Alcotest.list bool) "nth:3 fires only on hit 3"
+    [ false; false; true; false; false; false ] fired;
+  check int "hits counted" 6 (Fault.hits "t.nth");
+  check int "one fire" 1 (Fault.fires "t.nth");
+  (* Every fires on every n-th crossing *)
+  Fault.arm "t.every" Fault.Corrupt (Fault.Every 2);
+  let fired = List.init 6 (fun _ -> Fault.check "t.every" = Some Fault.Corrupt) in
+  check (Alcotest.list bool) "every:2 fires on hits 2,4,6"
+    [ false; true; false; true; false; true ] fired;
+  (* Probability is a seeded draw: the same seed gives the same pattern *)
+  let pattern () =
+    Fault.arm "t.prob" Fault.Raise (Fault.Probability (0.5, 1234));
+    List.init 32 (fun _ -> Fault.check "t.prob" <> None)
+  in
+  let a = pattern () and b = pattern () in
+  check (Alcotest.list bool) "seeded pattern reproducible" a b;
+  check bool "p=0.5 fires sometimes, not always" true
+    (List.mem true a && List.mem false a);
+  (* unarmed sites never fire but still count hits *)
+  check bool "unarmed is silent" true (Fault.check "t.unarmed" = None);
+  check int "unarmed hit counted" 1 (Fault.hits "t.unarmed")
+
+let test_fault_cut_raises () =
+  Fault.reset ();
+  Fun.protect ~finally:Fault.reset @@ fun () ->
+  Fault.arm "t.cut" Fault.Corrupt (Fault.Nth 1);
+  (* cut treats Corrupt as Raise: sites without corruption semantics *)
+  (match Fault.cut "t.cut" with
+  | exception Fault.Injected site -> check Alcotest.string "site named" "t.cut" site
+  | () -> Alcotest.fail "expected Injected");
+  Fault.cut "t.cut" (* nth:1 already fired; further crossings pass *)
+
+let test_fault_spec_parsing () =
+  Fault.reset ();
+  Fun.protect ~finally:Fault.reset @@ fun () ->
+  (match
+     Fault.arm_spec "guard.fuse=raise,guard.shrink=corrupt@nth:2,x=raise@every:3,y=raise@prob:0.25:77"
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "spec rejected: %s" e);
+  check int "four sites armed" 4 (List.length (Fault.armed ()));
+  check bool "fuse armed" true
+    (List.mem_assoc "guard.fuse" (Fault.armed ()));
+  (* malformed specs are Errors, not exceptions *)
+  List.iter
+    (fun spec ->
+      match Fault.arm_spec spec with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "spec %S should be rejected" spec)
+    [ "no-equals"; "s=explode"; "s=raise@nope"; "s=raise@nth:0";
+      "s=raise@prob:2.0:1"; "s=raise@nth:x" ];
+  (* arm validation *)
+  (match Fault.arm "s" Fault.Raise (Fault.Nth 0) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "Nth 0 must be rejected");
+  Fault.reset ();
+  check int "reset disarms" 0 (List.length (Fault.armed ()));
+  check int "reset zeroes hits" 0 (Fault.hits "guard.fuse")
+
+let test_fault_sites_declared () =
+  (* Forcing the libraries that declare sites at module init must make
+     them visible to `bwc faults` via Fault.sites — the guard stages and
+     the harness sites in particular. *)
+  ignore Bw_transform.Strategy.stage_names;
+  Bw_core.Harness.declare_fault_sites ();
+  let names = List.map fst (Fault.sites ()) in
+  List.iter
+    (fun site ->
+      check bool (site ^ " declared") true (List.mem site names))
+    [ "guard.input"; "guard.fuse"; "guard.contract"; "guard.shrink";
+      "guard.forward"; "guard.store-elim"; "guard.contract-tidy";
+      "harness.worker" ]
+
 (* --- Loader (CLI robustness) ------------------------------------------------ *)
 
 let test_loader_errors_not_exceptions () =
@@ -324,6 +419,12 @@ let suites =
     ( "obs.export",
       [ Alcotest.test_case "chrome trace round-trip" `Quick
           test_chrome_export_roundtrip ] );
+    ( "obs.fault",
+      [ Alcotest.test_case "deterministic policies" `Quick
+          test_fault_policies_deterministic;
+        Alcotest.test_case "cut raises Injected" `Quick test_fault_cut_raises;
+        Alcotest.test_case "spec parsing" `Quick test_fault_spec_parsing;
+        Alcotest.test_case "sites declared" `Quick test_fault_sites_declared ] );
     ( "obs.loader",
       [ Alcotest.test_case "errors, never exceptions" `Quick
           test_loader_errors_not_exceptions ] )

@@ -643,6 +643,177 @@ let test_strategy_preserves_workloads () =
       ("stride 2w3r", Bw_workloads.Stride_kernels.kernel ~writes:2 ~reads:3 ~n:64);
       ("conv", Bw_workloads.Kernels.convolution ~n:64 ~taps:4) ]
 
+(* --- Guarded pipeline ------------------------------------------------------------------ *)
+
+let with_fault site action policy f =
+  Bw_obs.Fault.reset ();
+  Bw_obs.Fault.arm site action policy;
+  Fun.protect ~finally:Bw_obs.Fault.reset f
+
+let validating trials = { Guard.default_config with Guard.validate = trials }
+
+(* An injected raise in any stage must be confined: the pipeline
+   completes, semantics are preserved, and exactly that stage records
+   one exception rollback. *)
+let test_guard_fault_confined_per_stage () =
+  let p = Bw_workloads.Fig7.original ~n:400 in
+  List.iter
+    (fun stage ->
+      let site = "guard." ^ stage in
+      with_fault site Bw_obs.Fault.Raise (Bw_obs.Fault.Nth 1) @@ fun () ->
+      let p', _report, events = Strategy.run_guarded ~guard:(validating 1) p in
+      same_semantics ("faulted " ^ stage) p p';
+      (match
+         List.filter (fun e -> e.Guard.verdict <> Guard.Committed) events
+       with
+      | [ { Guard.stage = s; verdict = Guard.Rolled_back (Guard.Exception _) } ]
+        ->
+        check Alcotest.string "rolled-back stage" stage s
+      | _ -> Alcotest.failf "expected exactly one exception rollback in %s" stage);
+      check int "fault fired once" 1 (Bw_obs.Fault.fires site))
+    [ "fuse"; "contract"; "shrink"; "forward"; "store-elim"; "contract-tidy" ]
+
+(* Rolling a stage back must reproduce the stage's input exactly, so a
+   faulted fuse equals the fuse-disabled pipeline program-for-program. *)
+let test_guard_rollback_equals_disabled_stage () =
+  let p = Bw_workloads.Fig7.original ~n:300 in
+  let disabled, _ =
+    Strategy.run ~options:{ Strategy.all_on with Strategy.fuse = false } p
+  in
+  with_fault "guard.fuse" Bw_obs.Fault.Raise (Bw_obs.Fault.Nth 1) @@ fun () ->
+  let faulted, _, _ = Strategy.run_guarded p in
+  check bool "identical to fuse-disabled run" true
+    (Ast.equal_program faulted disabled)
+
+(* A Corrupt fault mutates the stage output in a way that still
+   type-checks; only differential validation can catch it — and must. *)
+let test_guard_corruption_caught_by_validation () =
+  let p = Bw_workloads.Fig7.original ~n:200 in
+  with_fault "guard.shrink" Bw_obs.Fault.Corrupt (Bw_obs.Fault.Nth 1)
+  @@ fun () ->
+  let p', _, events = Strategy.run_guarded ~guard:(validating 2) p in
+  same_semantics "corruption rolled back" p p';
+  match List.find_opt (fun e -> e.Guard.stage = "shrink") events with
+  | Some { Guard.verdict = Guard.Rolled_back (Guard.Validation_failed _); _ } ->
+    ()
+  | _ -> Alcotest.fail "expected a validation-failure rollback on shrink"
+
+(* Negative control for the test above: with validation off, the same
+   type-correct corruption commits and observably changes behaviour —
+   the differential oracle, not Check.check, is what catches it. *)
+let test_guard_corruption_escapes_without_validation () =
+  let p = Bw_workloads.Fig7.original ~n:200 in
+  with_fault "guard.shrink" Bw_obs.Fault.Corrupt (Bw_obs.Fault.Nth 1)
+  @@ fun () ->
+  let p', _, events = Strategy.run_guarded p in
+  check bool "corrupt stage committed" true
+    (List.for_all (fun e -> e.Guard.verdict = Guard.Committed) events);
+  check bool "behaviour changed" false
+    (Bw_exec.Interp.equal_observation (Bw_exec.Interp.run p)
+       (Bw_exec.Interp.run p'))
+
+(* validate_pair as a standalone oracle: a program agrees with itself,
+   and the guard's own corruption is detected. *)
+let test_guard_validate_pair () =
+  let p = Bw_workloads.Fig7.original ~n:64 in
+  (match Guard.validate_pair ~before:p ~after:p () with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "self-validation failed: %s" e);
+  match Guard.corrupt_program p with
+  | None -> Alcotest.fail "expected a corruptible assignment"
+  | Some bad -> (
+    Bw_ir.Check.check_exn bad;
+    match Guard.validate_pair ~before:p ~after:bad () with
+    | Ok () -> Alcotest.fail "corruption slipped past validation"
+    | Error _ -> ())
+
+(* Fail-fast mode: rollback=false turns the first stage failure into
+   Guard_failed, with that failure as the last recorded event. *)
+let test_guard_fail_fast () =
+  let p = Bw_workloads.Fig7.original ~n:100 in
+  with_fault "guard.contract" Bw_obs.Fault.Raise (Bw_obs.Fault.Nth 1)
+  @@ fun () ->
+  match
+    Strategy.run_guarded
+      ~guard:{ Guard.default_config with Guard.rollback = false }
+      p
+  with
+  | _ -> Alcotest.fail "expected Guard_failed"
+  | exception Guard.Guard_failed events -> (
+    match List.rev events with
+    | { Guard.stage = "contract";
+        verdict = Guard.Rolled_back (Guard.Exception _) }
+      :: _ ->
+      ()
+    | _ -> Alcotest.fail "last event should be the contract failure")
+
+(* An exhausted fuel budget rolls every stage back without running it:
+   the program comes back untouched, each stage Budget_exhausted. *)
+let test_guard_fuel_budget () =
+  Bw_obs.Fault.reset ();
+  let p = Bw_workloads.Fig7.original ~n:100 in
+  let p', _, events =
+    Strategy.run_guarded
+      ~guard:{ Guard.default_config with Guard.fuel = Some 0 }
+      p
+  in
+  check bool "program unchanged" true (Ast.equal_program p p');
+  check bool "has events" true (events <> []);
+  List.iter
+    (fun ev ->
+      match ev.Guard.verdict with
+      | Guard.Rolled_back (Guard.Budget_exhausted _) -> ()
+      | _ -> Alcotest.failf "stage %s should be budget-exhausted" ev.Guard.stage)
+    events
+
+(* With no faults armed, the guarded pipeline commits every stage on
+   every registry workload — validation included — with zero rollbacks. *)
+let test_guard_zero_rollbacks_on_registry () =
+  Bw_obs.Fault.reset ();
+  List.iter
+    (fun (e : Bw_workloads.Registry.entry) ->
+      let p = e.Bw_workloads.Registry.build ~scale:1 in
+      let p', _, events = Strategy.run_guarded ~guard:(validating 1) p in
+      same_semantics e.Bw_workloads.Registry.name p p';
+      List.iter
+        (fun ev ->
+          match ev.Guard.verdict with
+          | Guard.Committed -> ()
+          | Guard.Rolled_back f ->
+            Alcotest.failf "%s: stage %s rolled back: %a"
+              e.Bw_workloads.Registry.name ev.Guard.stage Guard.pp_failure f)
+        events)
+    Bw_workloads.Registry.all
+
+(* Satellite: every individual pass, applied in pipeline order to every
+   registry workload, must keep the IR well-formed under Check.check. *)
+let test_individual_passes_keep_ir_wellformed () =
+  let checked workload name q =
+    match Bw_ir.Check.check q with
+    | Ok () -> ()
+    | Error errs ->
+      Alcotest.failf "%s after %s: %a" workload name
+        (Format.pp_print_list Bw_ir.Check.pp_error)
+        errs
+  in
+  List.iter
+    (fun (e : Bw_workloads.Registry.entry) ->
+      let w = e.Bw_workloads.Registry.name in
+      let p = e.Bw_workloads.Registry.build ~scale:1 in
+      let fused = Fuse.greedy p in
+      checked w "fuse" fused;
+      let contracted, _ = Contract.contract_arrays fused in
+      checked w "contract" contracted;
+      let shrunk, _ = Shrink.shrink_all contracted in
+      checked w "shrink" shrunk;
+      let forwarded, _ = Scalar_replace.forward_stores shrunk in
+      checked w "forward" forwarded;
+      let eliminated, _ = Store_elim.eliminate_dead_stores forwarded in
+      checked w "store-elim" eliminated;
+      let tidied, _ = Contract.contract_arrays eliminated in
+      checked w "contract-tidy" tidied)
+    Bw_workloads.Registry.all
+
 let suites =
   [ ( "transform.toplevel",
       [ Alcotest.test_case "dep graph" `Quick test_dep_graph;
@@ -694,5 +865,24 @@ let suites =
       [ Alcotest.test_case "fig7 pipeline" `Quick test_strategy_fig7;
         Alcotest.test_case "fig6 pipeline" `Quick test_strategy_fig6;
         Alcotest.test_case "preserves all workloads" `Slow test_strategy_preserves_workloads;
-        Alcotest.test_case "preserves random programs" `Slow test_strategy_preserves_random_programs ] )
+        Alcotest.test_case "preserves random programs" `Slow test_strategy_preserves_random_programs ] );
+    ( "transform.guard",
+      [ Alcotest.test_case "fault confined per stage" `Quick
+          test_guard_fault_confined_per_stage;
+        Alcotest.test_case "rollback equals disabled stage" `Quick
+          test_guard_rollback_equals_disabled_stage;
+        Alcotest.test_case "corruption caught by validation" `Quick
+          test_guard_corruption_caught_by_validation;
+        Alcotest.test_case "corruption escapes without validation" `Quick
+          test_guard_corruption_escapes_without_validation;
+        Alcotest.test_case "validate_pair oracle" `Quick
+          test_guard_validate_pair;
+        Alcotest.test_case "fail fast raises Guard_failed" `Quick
+          test_guard_fail_fast;
+        Alcotest.test_case "fuel budget exhausts" `Quick
+          test_guard_fuel_budget;
+        Alcotest.test_case "zero rollbacks on registry" `Slow
+          test_guard_zero_rollbacks_on_registry;
+        Alcotest.test_case "individual passes keep IR well-formed" `Slow
+          test_individual_passes_keep_ir_wellformed ] )
   ]
