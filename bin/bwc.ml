@@ -16,14 +16,21 @@
                                    full span/metrics instrumentation
      bwc fuse <prog>               compare fusion plans and their costs
      bwc experiments               regenerate the paper's tables
+     bwc fuzz                      differentially fuzz the optimizer pipeline
+                                   (--seed/--count/--size drive Qa.Gen;
+                                   --minimize delta-debugs the first failure
+                                   and writes the reproducer to --out)
+     bwc lint <prog>|--registry    statically check dependence preservation
+                                   across the pipeline (Qa.Lint)
      bwc faults                    list the registered fault-injection sites
      bwc validate-json <file>      check a bench/trace JSON artifact parses
 
    Exit codes: 0 success; 1 usage, load or runtime error (reported as a
    one-line "bwc: ..." message, never a backtrace); 2 guard validation
-   failure under optimize --no-rollback.  Fault-injection sites can
-   also be armed via the BWC_FAULTS environment variable (syntax:
-   SITE=ACTION[@POLICY], comma-separated — see `bwc faults`). *)
+   failure under optimize --no-rollback, a fuzz counterexample, or a
+   lint violation.  Fault-injection sites can also be armed via the
+   BWC_FAULTS environment variable (syntax: SITE=ACTION[@POLICY],
+   comma-separated — see `bwc faults`). *)
 
 open Cmdliner
 
@@ -169,13 +176,14 @@ let arm_faults_or_die ~what = function
       exit 1)
 
 let optimize_cmd =
-  let run name scale machine print_program trace_out validate no_rollback fuel
-      faults =
+  let run name scale machine print_program trace_out validate lint no_rollback
+      fuel faults =
     arm_faults_or_die ~what:"--faults" faults;
     let p = or_die (load_program ~scale name) in
     let guard =
       { Bw_transform.Guard.default_config with
         Bw_transform.Guard.validate = Option.value validate ~default:0;
+        lint;
         rollback = not no_rollback;
         fuel }
     in
@@ -206,8 +214,8 @@ let optimize_cmd =
           | Bw_transform.Guard.Committed -> false)
         events
     in
-    if validate <> None || no_rollback || fuel <> None || faults <> None
-       || rolled_back
+    if validate <> None || lint || no_rollback || fuel <> None
+       || faults <> None || rolled_back
     then Format.printf "%a@.@." Bw_transform.Guard.pp_report events;
     let before = Bw_exec.Run.simulate ~machine p in
     let after = Bw_exec.Run.simulate ~machine p' in
@@ -240,6 +248,16 @@ let optimize_cmd =
              and output programs on both execution engines over $(docv) \
              deterministic input sets (default 1) and roll the stage back \
              on any disagreement.")
+  in
+  let lint_flag =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Statically lint every optimizer stage with the \
+             dependence-preservation checker (dropped live-out stores, \
+             changed print counts, new backward dependences) and roll the \
+             stage back on any violation.")
   in
   let no_rollback_flag =
     Arg.(
@@ -274,7 +292,8 @@ let optimize_cmd =
        ~doc:"Apply the bandwidth-reduction pipeline and compare")
     Term.(
       const run $ program_arg $ scale_arg $ machine_arg $ print_flag
-      $ trace_arg $ validate_arg $ no_rollback_flag $ fuel_arg $ faults_arg)
+      $ trace_arg $ validate_arg $ lint_flag $ no_rollback_flag $ fuel_arg
+      $ faults_arg)
 
 (* --- profile ---------------------------------------------------------------- *)
 
@@ -361,6 +380,160 @@ let validate_json_cmd =
           harness's JSON reader (used by CI)")
     Term.(const run $ file_arg)
 
+(* --- fuzz ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let run seed count size minimize out trace_out faults =
+    arm_faults_or_die ~what:"--faults" faults;
+    if count < 1 then begin
+      Format.eprintf "bwc: --count must be >= 1@.";
+      exit 1
+    end;
+    let fuzz () =
+      let failure = ref None in
+      let k = ref 0 in
+      while !failure = None && !k < count do
+        let p = Bw_qa.Gen.generate ~seed:(seed + !k) ~size in
+        (match Bw_qa.Oracle.test p with
+        | Ok () -> ()
+        | Error msg -> failure := Some (seed + !k, p, msg));
+        incr k
+      done;
+      !failure
+    in
+    let outcome =
+      match trace_out with None -> fuzz () | Some file -> with_trace_file file fuzz
+    in
+    match outcome with
+    | None ->
+      Format.printf "fuzz: %d program(s) ok (seeds %d..%d, size %d)@." count
+        seed (seed + count - 1) size
+    | Some (bad_seed, p, msg) ->
+      Format.eprintf "bwc: fuzz counterexample at seed %d: %s@." bad_seed msg;
+      let repro =
+        if not minimize then p
+        else begin
+          let small, st =
+            Bw_qa.Minimize.minimize ~still_fails:Bw_qa.Oracle.fails p
+          in
+          Format.eprintf
+            "minimized: %d -> %d statement(s) (%d round(s), %d candidate(s), \
+             %d kept)@."
+            (Bw_ir.Ast_util.stmt_count p.Bw_ir.Ast.body)
+            (Bw_ir.Ast_util.stmt_count small.Bw_ir.Ast.body)
+            st.Bw_qa.Minimize.rounds st.Bw_qa.Minimize.candidates
+            st.Bw_qa.Minimize.kept;
+          small
+        end
+      in
+      let oc = open_out out in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          let ppf = Format.formatter_of_out_channel oc in
+          Format.fprintf ppf "%a@." Bw_ir.Pretty.pp_program repro);
+      Format.eprintf "wrote reproducer to %s@." out;
+      exit 2
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Base RNG seed (program $(i,k) uses seed+k).")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Number of programs to generate and test.")
+  in
+  let size_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "size" ] ~docv:"N"
+          ~doc:"Top-level statements per generated program.")
+  in
+  let minimize_flag =
+    Arg.(
+      value & flag
+      & info [ "minimize" ]
+          ~doc:"Delta-debug the first counterexample before writing it.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "qa-repro.bw"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Where to write the (pretty-printed) counterexample program.")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Arm fault-injection sites (same syntax as BWC_FAULTS); arm \
+             'qa.pipeline=corrupt@every:1' to exercise the whole \
+             counterexample path.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing of the optimizer: generate seeded random \
+          programs, optimize each through the guarded pipeline, and compare \
+          original vs optimized on both execution engines over deterministic \
+          inputs.  Exits 0 when every program agrees; exits 2 on the first \
+          counterexample, written to --out (minimized when --minimize).")
+    Term.(
+      const run $ seed_arg $ count_arg $ size_arg $ minimize_flag $ out_arg
+      $ trace_arg $ faults_arg)
+
+(* --- lint ------------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run name_opt registry scale faults =
+    arm_faults_or_die ~what:"--faults" faults;
+    let reports =
+      match (name_opt, registry) with
+      | None, false ->
+        Format.eprintf "bwc: lint needs a PROGRAM argument or --registry@.";
+        exit 1
+      | Some name, _ ->
+        [ Bw_qa.Lint.check_program (or_die (load_program ~scale name)) ]
+      | None, true -> Bw_qa.Lint.check_registry ~scale ()
+    in
+    List.iter (fun r -> Format.printf "%a@." Bw_qa.Lint.pp_report r) reports;
+    let bad = List.filter (fun r -> not (Bw_qa.Lint.ok r)) reports in
+    if bad <> [] then begin
+      Format.eprintf "bwc: %d program(s) violate dependence preservation@."
+        (List.length bad);
+      exit 2
+    end
+  in
+  let program_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PROGRAM" ~doc:"Workload name or .bw source file.")
+  in
+  let registry_flag =
+    Arg.(
+      value & flag
+      & info [ "registry" ] ~doc:"Lint every workload in the registry.")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:"Arm fault-injection sites (same syntax as BWC_FAULTS).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run a program (or the whole registry with --registry) through the \
+          optimizer pipeline and statically verify dependence preservation: \
+          live-out stores kept, print counts unchanged, no new backward \
+          dependences.  Exits 2 on any violation.")
+    Term.(const run $ program_opt_arg $ registry_flag $ scale_arg $ faults_arg)
+
 (* --- faults ----------------------------------------------------------------- *)
 
 let faults_cmd =
@@ -369,6 +542,7 @@ let faults_cmd =
        not otherwise touch *)
     Bw_core.Harness.declare_fault_sites ();
     ignore Bw_transform.Strategy.stage_names;
+    ignore Bw_qa.Oracle.site;
     let armed = Bw_obs.Fault.armed () in
     List.iter
       (fun (name, doc) ->
@@ -506,7 +680,8 @@ let () =
   let group =
     Cmd.group ~default info
       [ list_cmd; show_cmd; analyze_cmd; optimize_cmd; profile_cmd; fuse_cmd;
-        advise_cmd; reuse_cmd; experiments_cmd; faults_cmd; validate_json_cmd ]
+        advise_cmd; reuse_cmd; experiments_cmd; fuzz_cmd; lint_cmd; faults_cmd;
+        validate_json_cmd ]
   in
   (* ~catch:false + our own handler: any escaped exception becomes a
      one-line "bwc: ..." on stderr and exit code 1 — no backtraces.

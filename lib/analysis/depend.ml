@@ -76,6 +76,32 @@ let pair_test ~index (r1 : Refs.t) (r2 : Refs.t) =
     combine None false verdicts
   end
 
+type pair_info = {
+  array : string;
+  acc1 : Refs.access;
+  acc2 : Refs.access;
+  answer : answer;
+}
+
+let loop_pairs (l : loop) =
+  let refs = Refs.collect l.body in
+  List.concat_map
+    (fun (r1 : Refs.t) ->
+      List.filter_map
+        (fun (r2 : Refs.t) ->
+          if r2.Refs.position <= r1.Refs.position then None
+          else if r1.Refs.array <> r2.Refs.array then None
+          else if r1.Refs.access = Refs.Read && r2.Refs.access = Refs.Read then
+            None
+          else
+            Some
+              { array = r1.Refs.array;
+                acc1 = r1.Refs.access;
+                acc2 = r2.Refs.access;
+                answer = pair_test ~index:l.index r1 r2 })
+        refs)
+    refs
+
 let conformable (l1 : loop) (l2 : loop) =
   let rename e =
     Bw_ir.Ast_util.subst_scalar ~name:l2.index ~value:(Scalar l1.index) e
@@ -177,6 +203,11 @@ let scalars_of_stmts stmts ~arrays =
   in
   (reads, writes)
 
+let consumes_input stmts =
+  Bw_ir.Ast_util.fold_stmts
+    (fun acc s -> acc || match s with Read_input _ -> true | _ -> false)
+    false stmts
+
 let fusable (l1 : loop) (l2 : loop) =
   let ( let* ) r f = Result.bind r f in
   (* bounds *)
@@ -187,6 +218,13 @@ let fusable (l1 : loop) (l2 : loop) =
       | Some (_, _, s1), Some (_, _, s2) when s1 = s2 -> Ok ()
       | Some _, Some _ -> Error "loop steps differ"
       | _ -> Error "loop bounds are neither conformable nor constant"
+  in
+  (* the read() stream is a sequential resource: fusing two loops that
+     both consume it interleaves their stream positions *)
+  let* () =
+    if consumes_input l1.body && consumes_input l2.body then
+      Error "both loops consume the input stream"
+    else Ok ()
   in
   let body2 =
     Bw_ir.Ast_util.rename_scalar ~from:l2.index ~into:l1.index l2.body

@@ -22,6 +22,24 @@ val pp_answer : Format.formatter -> answer -> unit
     with its loop index already renamed to [index]). *)
 val pair_test : index:string -> Refs.t -> Refs.t -> answer
 
+(** One tested reference pair of a loop: [acc1] occurs textually before
+    [acc2] on the same [array], and [answer] relates their iterations of
+    the loop's index (so [Dependent (Some d)] with [d < 0] means the
+    later reference touches an element a {e later} iteration of the
+    earlier one also touches — a backward dependence). *)
+type pair_info = {
+  array : string;
+  acc1 : Refs.access;
+  acc2 : Refs.access;
+  answer : answer;
+}
+
+(** [loop_pairs l] tests every textually ordered pair of same-array
+    references in [l]'s body (nested statements included) against [l]'s
+    index, skipping read/read pairs.  This is the dependence summary the
+    {!Preserve} linter compares across a transformation. *)
+val loop_pairs : Bw_ir.Ast.loop -> pair_info list
+
 (** [conformable l1 l2] holds when the loops have structurally equal
     bounds and step once [l2]'s index is renamed to [l1]'s. *)
 val conformable : Bw_ir.Ast.loop -> Bw_ir.Ast.loop -> bool
@@ -29,10 +47,18 @@ val conformable : Bw_ir.Ast.loop -> Bw_ir.Ast.loop -> bool
 (** Constant bounds [(lo, hi, step)] of a loop, when they are literals. *)
 val constant_bounds : Bw_ir.Ast.loop -> (int * int * int) option
 
+(** Does any statement (at any depth) consume the [read()] input
+    stream?  The stream is a sequential resource: code motion that
+    interleaves or reorders two consumers changes which value each
+    receives. *)
+val consumes_input : Bw_ir.Ast.stmt list -> bool
+
 (** [fusable l1 l2] decides whether the adjacent loops [l1; l2] may be
     fused into one loop over [l1]'s index:
     - bounds must be conformable, or both constant with equal step (the
       fused loop then runs over the hull with guards);
+    - at most one of the loops may consume the [read()] input stream
+      (fusing two consumers interleaves their stream positions);
     - no array dependence from one loop to the other with negative
       distance, and nothing Unknown;
     - no scalar carried between the loops unless the scalar is private

@@ -1,0 +1,48 @@
+(** Static dependence-preservation linting of a transformation.
+
+    Differential execution can miss a miscompilation that happens to
+    agree on the tested inputs; this linter instead compares what the
+    dependence analysis {e proves} about the original and transformed
+    programs.  A transformation is flagged when it
+
+    - drops every store to (or the declaration of) a [live_out]
+      variable — its observable final value changed owner;
+    - changes the number of [print] statements; or
+    - introduces a {e backward} dependence: a textually ordered
+      same-array pair inside some loop whose {!Depend.pair_test}
+      distance is negative and whose signature
+      [(array, access1, access2, distance)] appears in no loop of the
+      original program.  Legal fusion never creates one (the
+      {!Depend.fusable} judgement rejects exactly these), so a new
+      backward pair means a pass reordered a dependence it was required
+      to preserve.
+
+    Signatures are index-name independent and collected over loops at
+    every nesting depth, so pre-existing negative-distance pairs (an
+    original loop reading ahead of its own writes) are not flagged —
+    only pairs a transformation newly brought together. *)
+
+type violation =
+  | Live_out_store_dropped of string
+  | Live_out_decl_dropped of string
+  | Print_count_changed of int * int  (** (before, after) *)
+  | Backward_dependence of {
+      array : string;
+      acc1 : Refs.access;
+      acc2 : Refs.access;
+      distance : int;
+    }
+
+(** [lint ~before ~after] returns every preservation violation the
+    transformed program [after] exhibits relative to [before]; [[]]
+    means the transformation is consistent with the rules above (not a
+    semantic-equivalence proof — the differential oracle covers the
+    dynamic side). *)
+val lint :
+  before:Bw_ir.Ast.program -> after:Bw_ir.Ast.program -> violation list
+
+val lint_ok : before:Bw_ir.Ast.program -> after:Bw_ir.Ast.program -> bool
+val pp_violation : Format.formatter -> violation -> unit
+
+(** One violation per line; ["no violations"] when empty. *)
+val pp_violations : Format.formatter -> violation list -> unit

@@ -29,7 +29,7 @@ exception Lex_error of string * int
 let keywords =
   [ "program"; "end"; "for"; "endfor"; "if"; "endif"; "else"; "read";
     "print"; "real"; "integer"; "live_out"; "and"; "or"; "not"; "zero";
-    "linear"; "hash"; "init" ]
+    "linear"; "hash"; "lanes"; "init" ]
 
 let is_digit c = c >= '0' && c <= '9'
 let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'

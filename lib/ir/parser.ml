@@ -279,7 +279,7 @@ and close_block st ~short ~long =
 
 (* --- declarations and program ------------------------------------------ *)
 
-let parse_init st =
+let rec parse_init st =
   let t = next st in
   match t.Lexer.token with
   | Lexer.KW "zero" -> Init_zero
@@ -295,8 +295,16 @@ let parse_init st =
     let seed = expect_int st in
     expect st Lexer.RPAREN;
     Init_hash seed
+  | Lexer.KW "lanes" ->
+    expect st Lexer.LPAREN;
+    let inner = parse_init st in
+    expect st Lexer.COMMA;
+    let l = expect_int st in
+    expect st Lexer.RPAREN;
+    Init_lanes (inner, l)
   | other ->
-    fail_at t.line "expected an initialiser (zero | linear(a,b) | hash(s)), found %s"
+    fail_at t.line
+      "expected an initialiser (zero | linear(a,b) | hash(s) | lanes(i,l)), found %s"
       (Lexer.token_to_string other)
 
 let parse_decl st dtype =

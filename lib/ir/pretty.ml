@@ -23,10 +23,17 @@ let binop_prec = function
   | Mul | Div | Mod -> 2
   | Min | Max -> 3
 
+(* Shortest float rendering that re-reads to the same value: %g when it
+   is lossless (almost always), full precision otherwise.  Keeps printed
+   programs re-parseable to an equal AST. *)
+let float_repr x =
+  let s = Printf.sprintf "%g" x in
+  if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
 let rec pp_expr_prec prec ppf e =
   match e with
   | Int_lit n -> Format.pp_print_int ppf n
-  | Float_lit x -> Format.fprintf ppf "%g" x
+  | Float_lit x -> Format.pp_print_string ppf (float_repr x)
   | Scalar s -> Format.pp_print_string ppf s
   | Element (a, idxs) ->
     Format.fprintf ppf "%s[%a]" a
@@ -99,16 +106,30 @@ and pp_stmts ppf stmts =
     ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
     pp_stmt ppf stmts
 
+let rec pp_init ppf = function
+  | Init_zero -> Format.pp_print_string ppf "zero"
+  | Init_linear (a, b) ->
+    Format.fprintf ppf "linear(%s, %s)" (float_repr a) (float_repr b)
+  | Init_hash seed -> Format.fprintf ppf "hash(%d)" seed
+  | Init_lanes (inner, l) -> Format.fprintf ppf "lanes(%a, %d)" pp_init inner l
+
+(* The parser's defaults; a decl carrying one round-trips without being
+   printed, so the common case stays as terse as the paper's listings. *)
+let default_init d =
+  if d.dims = [] then Init_zero else Init_linear (1.0, 0.001)
+
 let pp_decl ppf d =
   let type_name = match d.dtype with F64 -> "real" | I64 -> "integer" in
-  match d.dims with
+  (match d.dims with
   | [] -> Format.fprintf ppf "%s %s" type_name d.var_name
   | dims ->
     Format.fprintf ppf "%s %s[%a]" type_name d.var_name
       (Format.pp_print_list
          ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
          Format.pp_print_int)
-      dims
+      dims);
+  if not (equal_init d.init (default_init d)) then
+    Format.fprintf ppf " = %a" pp_init d.init
 
 let pp_program ppf p =
   Format.fprintf ppf "@[<v>program %s@," p.prog_name;

@@ -1,0 +1,165 @@
+open Bw_ir.Ast
+open Bw_ir.Builder
+
+(* Float literals restricted to values whose shortest decimal rendering
+   re-reads exactly, so generated programs survive the pretty/parse
+   round-trip bit-for-bit. *)
+let float_palette = [| 0.5; 0.25; 0.75; 1.5; 2.5; 0.125; 3.5 |]
+
+type ctx = {
+  rng : Random.State.t;
+  n : int;  (** 1-D loop trip count *)
+  m : int;  (** 2-D extent *)
+  fa : string array;  (** 1-D float arrays, extent [4n+2] *)
+  ia : string array;  (** 1-D int arrays, extent [4n+2] *)
+  b2 : string option;  (** 2-D float array, extents [m; m] *)
+}
+
+let ri ctx k = Random.State.int ctx.rng k
+let pick ctx arr = arr.(ri ctx (Array.length arr))
+let flit ctx = fl (pick ctx float_palette)
+
+(* Subscripts for a 1-D array of extent 4n+2 over [i] in [1, n]: plain,
+   offset, and strided forms all stay in [1, 4n+2]; the non-affine form
+   [(i*i) % n + 1] stays in [1, n] and must drive Depend to Unknown. *)
+let subscript ctx =
+  match ri ctx 16 with
+  | 0 | 1 | 2 | 3 | 4 | 5 -> v "i"
+  | 6 | 7 | 8 -> v "i" +: int (1 + ri ctx 2)
+  | 9 | 10 -> int 2 *: v "i"
+  | 11 | 12 -> (int 2 *: v "i") +: int 1
+  | 13 | 14 -> int 3 *: v "i"
+  | _ -> ((v "i" *: v "i") %: int ctx.n) +: int 1
+
+let float_array ctx = pick ctx ctx.fa
+let int_array ctx = pick ctx ctx.ia
+
+(* A float-typed expression over the 1-D arrays (no division: generated
+   programs must be runtime-error free on both engines). *)
+let rec float_expr ctx depth =
+  if depth <= 0 then
+    match ri ctx 3 with
+    | 0 -> flit ctx
+    | _ -> float_array ctx $ [ subscript ctx ]
+  else
+    match ri ctx 8 with
+    | 0 -> flit ctx
+    | 1 -> to_float (int_array ctx $ [ subscript ctx ])
+    | 2 -> call (pick ctx [| "f"; "g" |]) [ float_expr ctx (depth - 1) ]
+    | 3 -> min_ (float_expr ctx (depth - 1)) (float_expr ctx (depth - 1))
+    | 4 -> float_expr ctx (depth - 1) *: flit ctx
+    | 5 -> float_expr ctx (depth - 1) -: float_expr ctx (depth - 1)
+    | _ -> float_expr ctx (depth - 1) +: float_expr ctx (depth - 1)
+
+(* An int-typed expression; [%] only by non-zero literals. *)
+let int_expr ctx depth =
+  if depth <= 0 then int (1 + ri ctx 5)
+  else
+    match ri ctx 5 with
+    | 0 -> int (1 + ri ctx 5)
+    | 1 -> (int_array ctx $ [ subscript ctx ]) +: int (1 + ri ctx 3)
+    | 2 -> ((int_array ctx $ [ v "i" ]) *: int 3) %: int 7
+    | 3 -> max_ (int_array ctx $ [ subscript ctx ]) (int 0)
+    | _ ->
+      (int_array ctx $ [ subscript ctx ]) +: (int_array ctx $ [ v "i" ])
+
+let loop_1d ctx body = for_ "i" (int 1) (int ctx.n) body
+
+let statement ctx =
+  match ri ctx 10 with
+  | 0 | 1 | 2 ->
+    (* float map loop, possibly self-referencing *)
+    let t = float_array ctx in
+    loop_1d ctx [ (t $. [ subscript ctx ]) <-- float_expr ctx 2 ]
+  | 3 | 4 ->
+    (* scalar reduction *)
+    loop_1d ctx [ sc "acc" <-- (v "acc" +: float_expr ctx 1) ]
+  | 5 ->
+    (* int map loop *)
+    let t = int_array ctx in
+    loop_1d ctx [ (t $. [ v "i" ]) <-- int_expr ctx 1 ]
+  | 6 ->
+    (* int reduction *)
+    loop_1d ctx [ sc "isum" <-- (v "isum" +: int_expr ctx 1) ]
+  | 7 ->
+    (* deterministic input stream *)
+    let t = if ri ctx 2 = 0 then float_array ctx else int_array ctx in
+    loop_1d ctx [ read (t $. [ v "i" ]) ]
+  | 8 ->
+    (* guarded update *)
+    let t = float_array ctx and s = subscript ctx in
+    loop_1d ctx
+      [ if_
+          (float_expr ctx 0 >: flit ctx)
+          [ (t $. [ s ]) <-- float_expr ctx 1 ]
+          [ (t $. [ s ]) <-- float_expr ctx 1 ] ]
+  | _ -> (
+    (* 2-D nest when a 2-D array exists, else another float loop *)
+    match ctx.b2 with
+    | None ->
+      let t = float_array ctx in
+      loop_1d ctx [ (t $. [ v "i" ]) <-- float_expr ctx 2 ]
+    | Some b ->
+      let rd =
+        if ri ctx 2 = 0 then b $ [ v "i"; v "j" ] else b $ [ v "j"; v "i" ]
+      in
+      for_ "j" (int 1) (int ctx.m)
+        [ for_ "i" (int 1) (int ctx.m)
+            [ (b $. [ v "i"; v "j" ]) <-- (rd *: flit ctx) +: flit ctx ] ])
+
+let init_1d ctx k =
+  match ri ctx 4 with
+  | 0 -> Init_zero
+  | 1 -> Init_linear (pick ctx float_palette, pick ctx float_palette)
+  | _ -> Init_hash k
+
+let generate ~seed ~size =
+  if size < 1 then invalid_arg "Qa.Gen.generate: size must be >= 1";
+  let rng = Random.State.make [| seed; 0x9a7a |] in
+  let pre = { rng; n = 0; m = 0; fa = [||]; ia = [||]; b2 = None } in
+  let n = 4 + ri pre 5 in
+  let m = 3 + ri pre 3 in
+  let nf = 2 + ri pre 2 and ni = 1 + ri pre 2 in
+  let ctx =
+    { pre with
+      n;
+      m;
+      fa = Array.init nf (Printf.sprintf "a%d");
+      ia = Array.init ni (Printf.sprintf "k%d");
+      b2 = (if ri pre 2 = 0 then Some "b0" else None) }
+  in
+  let extent = (4 * n) + 2 in
+  let decls =
+    (Array.to_list ctx.fa
+    |> List.mapi (fun k name -> array ~init:(init_1d ctx k) name [ extent ]))
+    @ (Array.to_list ctx.ia
+      |> List.mapi (fun k name ->
+             array ~dtype:I64 ~init:(Init_hash (100 + k)) name [ extent ]))
+    @ (match ctx.b2 with
+      | Some b -> [ array ~init:(Init_hash 7) b [ m; m ] ]
+      | None -> [])
+    @ [ scalar "acc"; int_scalar "isum" ]
+  in
+  let body =
+    List.init size (fun _ -> statement ctx)
+    @ [ print (v "acc"); print (v "isum") ]
+  in
+  let written = Bw_ir.Ast_util.vars_written body in
+  let live_out =
+    let keep = List.filter (fun _ -> ri ctx 2 = 0) written in
+    let keep =
+      if keep = [] then [ List.nth written (ri ctx (List.length written)) ]
+      else keep
+    in
+    (* occasionally an untouched declaration, for live-out variety *)
+    let extra =
+      List.filter_map
+        (fun (d : decl) ->
+          if (not (List.mem d.var_name written)) && ri ctx 6 = 0 then
+            Some d.var_name
+          else None)
+        decls
+    in
+    keep @ extra
+  in
+  program (Printf.sprintf "fuzz%d" seed) ~decls ~live_out body

@@ -1,0 +1,30 @@
+(** Seeded random-program generator for differential fuzzing.
+
+    Richer than {!Bw_workloads.Random_programs}: programs mix [int] and
+    [real] dtypes, 1-D and 2-D arrays, offset ([a(i+1)]) and strided
+    ([a(2*i)], [a(3*i)]) affine subscripts, scalar reductions,
+    deterministic [read()] input loops, guarded updates, varied
+    initializers and [live_out] sets — and occasionally a non-affine
+    subscript ([(i*i) mod n + 1]) that {!Bw_analysis.Depend} must answer
+    {!Bw_analysis.Depend.Unknown} on.
+
+    Every generated program:
+
+    - passes {!Bw_ir.Check.check} by construction (subscripts are
+      bounds-safe for the declared extents, types line up, no
+      duplicate declarations);
+    - is runtime-error free on both engines (no division, no
+      [mod]-by-zero, no NaN-producing intrinsics);
+    - survives the pretty-print/re-parse round trip to an
+      [equal_program] AST (float literals come from an exact palette,
+      conditions are simple comparisons).
+
+    Determinism: [generate ~seed ~size] is a pure function of its
+    arguments — it seeds a private {!Random.State} and never touches
+    the global RNG. *)
+
+(** [generate ~seed ~size] builds a program with [size] top-level
+    statements (plus trailing prints of the [acc]/[isum] reduction
+    scalars).
+    @raise Invalid_argument if [size < 1]. *)
+val generate : seed:int -> size:int -> Bw_ir.Ast.program

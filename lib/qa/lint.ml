@@ -1,0 +1,24 @@
+open Bw_ir
+
+type report = {
+  program : string;
+  violations : Bw_analysis.Preserve.violation list;
+}
+
+let check_program (p : Ast.program) =
+  let after = Oracle.transform p in
+  { program = p.Ast.prog_name;
+    violations = Bw_analysis.Preserve.lint ~before:p ~after }
+
+let check_registry ?(scale = 1) () =
+  List.map
+    (fun (e : Bw_workloads.Registry.entry) -> check_program (e.build ~scale))
+    Bw_workloads.Registry.all
+
+let ok r = r.violations = []
+
+let pp_report ppf r =
+  if ok r then Format.fprintf ppf "%s: ok" r.program
+  else
+    Format.fprintf ppf "@[<v2>%s:@,%a@]" r.program
+      Bw_analysis.Preserve.pp_violations r.violations

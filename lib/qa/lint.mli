@@ -1,0 +1,23 @@
+(** Static dependence-preservation linting of the optimizer pipeline.
+
+    Thin front end over {!Bw_analysis.Preserve}: run a program through
+    {!Oracle.transform} (the guarded pipeline plus the [qa.pipeline]
+    fault site) and report every preservation violation the transformed
+    program exhibits — dropped live-out stores or declarations, changed
+    print counts, new backward dependences.  On a clean tree every
+    registered workload must lint to zero violations. *)
+
+type report = {
+  program : string;
+  violations : Bw_analysis.Preserve.violation list;
+}
+
+(** Optimize [p] and lint the (before, after) pair. *)
+val check_program : Bw_ir.Ast.program -> report
+
+(** Lint every workload in {!Bw_workloads.Registry} at [scale]
+    (default 1). *)
+val check_registry : ?scale:int -> unit -> report list
+
+val ok : report -> bool
+val pp_report : Format.formatter -> report -> unit

@@ -69,7 +69,13 @@ let distribute (l : loop) =
     for u = 0 to n - 1 do
       for v = u + 1 to n - 1 do
         let fwd, bwd = array_edges ~index:l.index stmts.(u) stmts.(v) in
-        let glue = scalar_conflict l.body stmts.(u) stmts.(v) in
+        (* two read() statements must stay in one loop: splitting them
+           apart reorders their input-stream positions *)
+        let glue =
+          scalar_conflict l.body stmts.(u) stmts.(v)
+          || Bw_analysis.Depend.(
+               consumes_input [ stmts.(u) ] && consumes_input [ stmts.(v) ])
+        in
         if fwd || glue then Bw_graph.Digraph.add_edge g u v;
         if bwd || glue then Bw_graph.Digraph.add_edge g v u
       done

@@ -2,6 +2,7 @@ open Bw_ir
 
 type failure =
   | Check_failed of string
+  | Lint_failed of string
   | Validation_failed of string
   | Exception of string
   | Budget_exhausted of string
@@ -12,13 +13,14 @@ type event = { stage : string; verdict : verdict }
 
 type config = {
   validate : int;
+  lint : bool;
   tolerance : float;
   rollback : bool;
   fuel : int option;
 }
 
 let default_config =
-  { validate = 0; tolerance = 1e-9; rollback = true; fuel = None }
+  { validate = 0; lint = false; tolerance = 1e-9; rollback = true; fuel = None }
 
 exception Guard_failed of event list
 
@@ -166,12 +168,15 @@ let validate_pair ?(trials = 1) ?(tolerance = 1e-9) ~before ~after () =
 
 let failure_kind = function
   | Check_failed _ -> "check_failures"
+  | Lint_failed _ -> "lint_failures"
   | Validation_failed _ -> "validation_failures"
   | Exception _ -> "exceptions"
   | Budget_exhausted _ -> "budget_exhausted"
 
 let failure_message = function
-  | Check_failed m | Validation_failed m | Exception m | Budget_exhausted m -> m
+  | Check_failed m | Lint_failed m | Validation_failed m | Exception m
+  | Budget_exhausted m ->
+    m
 
 let count stage name =
   Bw_obs.Metrics.incr
@@ -216,8 +221,21 @@ let stage t ~name ~default f p =
       in
       match Check.check p' with
       | Error es -> Error (Check_failed (render_check_errors es))
-      | Ok () ->
-        if t.cfg.validate <= 0 then Ok (p', aux)
+      | Ok () -> (
+        match
+          if not t.cfg.lint then []
+          else Bw_analysis.Preserve.lint ~before:p ~after:p'
+        with
+        | _ :: _ as vs ->
+          Error
+            (Lint_failed
+               (Format.asprintf "@[<h>%a@]"
+                  (Format.pp_print_list
+                     ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+                     Bw_analysis.Preserve.pp_violation)
+                  vs))
+        | [] ->
+          if t.cfg.validate <= 0 then Ok (p', aux)
         else begin
           let charge_fuel ~trial =
             charge t
@@ -230,7 +248,7 @@ let stage t ~name ~default f p =
           with
           | Ok () -> Ok (p', aux)
           | Error msg -> Error (Validation_failed msg)
-        end
+        end)
     with
     | Out_of_fuel msg -> Error (Budget_exhausted msg)
     | e -> Error (Exception (Printexc.to_string e))
@@ -256,6 +274,7 @@ let stage t ~name ~default f p =
 
 let pp_failure ppf = function
   | Check_failed m -> Format.fprintf ppf "IR check failed: %s" m
+  | Lint_failed m -> Format.fprintf ppf "preservation lint failed: %s" m
   | Validation_failed m -> Format.fprintf ppf "validation failed: %s" m
   | Exception m -> Format.fprintf ppf "exception: %s" m
   | Budget_exhausted m -> Format.fprintf ppf "fuel exhausted: %s" m

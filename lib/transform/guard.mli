@@ -21,6 +21,10 @@
     + the transform runs; any exception it raises is confined to the
       stage;
     + {!Bw_ir.Check.check} re-runs on the output;
+    + when linting is on, {!Bw_analysis.Preserve.lint} statically
+      compares the stage's input and output (live-out stores, print
+      counts, dependence signatures) and any violation rolls the stage
+      back;
     + when validation is on, the stage's input and output programs both
       execute on the interpreter {e and} the compiled engine over
       deterministic inputs ([input_offset] varies per trial), and every
@@ -33,6 +37,9 @@
 
 type failure =
   | Check_failed of string
+  | Lint_failed of string
+      (** the {!Bw_analysis.Preserve} dependence-preservation lint
+          flagged the stage's output *)
   | Validation_failed of string
   | Exception of string  (** includes injected faults *)
   | Budget_exhausted of string
@@ -45,6 +52,11 @@ type config = {
   validate : int;
       (** differential-validation trials per stage; [0] disables
           validation (checks and exception confinement remain) *)
+  lint : bool;
+      (** statically lint each stage with {!Bw_analysis.Preserve.lint}
+          (dropped live-out stores, changed print counts, new backward
+          dependences) and roll back on any violation; purely static, no
+          program execution *)
   tolerance : float;
       (** absolute/relative float tolerance for observation comparison *)
   rollback : bool;
@@ -56,9 +68,10 @@ type config = {
           charges four program executions. *)
 }
 
-(** [{ validate = 0; tolerance = 1e-9; rollback = true; fuel = None }] —
-    the cost-free guard the default [Strategy.run] uses: exceptions are
-    confined, outputs are checked, nothing is executed. *)
+(** [{ validate = 0; lint = false; tolerance = 1e-9; rollback = true;
+    fuel = None }] — the cost-free guard the default [Strategy.run]
+    uses: exceptions are confined, outputs are checked, nothing is
+    executed. *)
 val default_config : config
 
 (** Raised (with all events so far, failure last) when a stage fails

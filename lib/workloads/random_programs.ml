@@ -1,6 +1,15 @@
 let generate ~seed ~loops ~arrays ~n =
-  if arrays < 1 || loops < 1 || n < 1 then
-    invalid_arg "Random_programs.generate";
+  if loops < 1 then
+    invalid_arg
+      (Printf.sprintf "Random_programs.generate: loops must be >= 1 (got %d)"
+         loops);
+  if arrays < 1 then
+    invalid_arg
+      (Printf.sprintf "Random_programs.generate: arrays must be >= 1 (got %d)"
+         arrays);
+  if n < 1 then
+    invalid_arg
+      (Printf.sprintf "Random_programs.generate: n must be >= 1 (got %d)" n);
   let rng = Random.State.make [| seed; 0xbeef |] in
   let open Bw_ir.Builder in
   let array_name k = Printf.sprintf "x%d" k in

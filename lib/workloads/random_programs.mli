@@ -1,7 +1,23 @@
 (** Deterministic random stream programs, used by the fusion ablation
     benchmarks and by property tests: a sequence of loops, each updating
     one array from a random subset of the others, interleaved with scalar
-    reduction loops that create fusion-preventing structure. *)
+    reduction loops that create fusion-preventing structure.
 
+    Determinism contract: [generate] is a pure function of its four
+    arguments.  It draws from a private {!Random.State} seeded with
+    [seed] (the global RNG is never touched or re-seeded), so equal
+    arguments produce structurally equal programs — across calls,
+    processes, and OCaml versions that keep {!Random.State}'s algorithm
+    — and unequal seeds may be compared side by side in one run.  Every
+    generated program passes {!Bw_ir.Check.check}.
+
+    For a generator with richer coverage (dtypes, 2-D arrays, strided
+    subscripts, [read()] streams, non-affine subscripts), see
+    [Bw_qa.Gen]. *)
+
+(** [generate ~seed ~loops ~arrays ~n] builds [loops] loops over
+    [arrays] arrays of extent [n].
+    @raise Invalid_argument if [loops], [arrays] or [n] is [< 1]; the
+    message names the offending parameter. *)
 val generate :
   seed:int -> loops:int -> arrays:int -> n:int -> Bw_ir.Ast.program

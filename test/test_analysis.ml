@@ -136,6 +136,113 @@ let test_fusable_cases () =
   (* same-element output dependence is fine *)
   expect_ok "a[i] = 1.0" "a[i] = a[i] + 2.0"
 
+let test_constant_bounds_edges () =
+  let open Bw_ir.Builder in
+  let mk ?step lo hi = { Ast.index = "i"; lo; hi;
+                         step = Option.value step ~default:(int 1);
+                         body = [] } in
+  check bool "negative step" true
+    (Depend.constant_bounds (mk ~step:(int (-1)) (int 10) (int 1))
+    = Some (10, 1, -1));
+  check bool "non-unit step" true
+    (Depend.constant_bounds (mk ~step:(int 3) (int 1) (int 20))
+    = Some (1, 20, 3));
+  check bool "symbolic bound" true
+    (Depend.constant_bounds (mk (int 1) (v "n")) = None);
+  check bool "symbolic step" true
+    (Depend.constant_bounds (mk ~step:(v "s") (int 1) (int 9)) = None)
+
+let test_pair_test_mismatched_coeffs () =
+  let pair body =
+    let l =
+      loop_of
+        (Printf.sprintf
+           "program p\n real a[400]\n live_out a\n for i = 1, 99\n %s\n end for\nend"
+           body)
+    in
+    match Depend.loop_pairs l with
+    | [ pi ] -> pi.Depend.answer
+    | ps -> Alcotest.failf "expected one pair, got %d" (List.length ps)
+  in
+  (* gcd(2,3) = 1 divides everything: can't rule the pair out *)
+  check bool "2i vs 3i unknown" true (pair "a[2*i] = a[3*i]" = Depend.Unknown);
+  (* gcd(2,4) = 2 does not divide 1: provably disjoint *)
+  check bool "2i vs 4i+1 independent" true
+    (pair "a[2*i] = a[4*i+1]" = Depend.Independent);
+  (* same parity: solutions exist somewhere *)
+  check bool "2i vs 4i+2 unknown" true
+    (pair "a[2*i] = a[4*i+2]" = Depend.Unknown);
+  (* equal coefficients, non-multiple offset: disjoint lattices *)
+  check bool "2i vs 2i+1 independent" true
+    (pair "a[2*i] = a[2*i+1]" = Depend.Independent)
+
+let test_pair_test_symmetry () =
+  (* swapping the refs negates the distance *)
+  let l =
+    loop_of
+      "program p\n real a[100]\n live_out a\n for i = 2, 99\n a[i] = a[i-1]\n end for\nend"
+  in
+  let refs = Refs.collect l.Ast.body in
+  let w = List.hd (Refs.writes refs) and r = List.hd (Refs.reads refs) in
+  (match
+     (Depend.pair_test ~index:"i" w r, Depend.pair_test ~index:"i" r w)
+   with
+  | Depend.Dependent (Some d1), Depend.Dependent (Some d2) ->
+    check int "negated" d1 (-d2);
+    check int "value" 1 (abs d1)
+  | a, b ->
+    Alcotest.failf "expected distances, got %a / %a" Depend.pp_answer a
+      Depend.pp_answer b);
+  (* and an independent pair is independent from both sides *)
+  let l2 =
+    loop_of
+      "program p\n real a[100]\n live_out a\n for i = 1, 49\n a[2*i] = a[2*i+1]\n end for\nend"
+  in
+  let refs2 = Refs.collect l2.Ast.body in
+  let w2 = List.hd (Refs.writes refs2) and r2 = List.hd (Refs.reads refs2) in
+  check bool "independent both ways" true
+    (Depend.pair_test ~index:"i" w2 r2 = Depend.Independent
+    && Depend.pair_test ~index:"i" r2 w2 = Depend.Independent)
+
+let test_fusable_scalar_carried () =
+  let mk b =
+    loop_of
+      (Printf.sprintf
+         "program p\n real a[100]\n real b[100]\n real c[100]\n real t\n live_out a, b, c\n for i = 2, 99\n %s\n end for\nend"
+         b)
+  in
+  (* t flows from loop 1 into loop 2 where it is read before any write:
+     not private, so fusion must be rejected *)
+  let l1 = mk "t = a[i]\n b[i] = t" in
+  let l2 = mk "c[i] = t" in
+  (match Depend.fusable l1 l2 with
+  | Ok () -> Alcotest.fail "carried scalar must block fusion"
+  | Error reason -> check bool "names the scalar" true (reason <> ""));
+  (* written-before-read in the second loop: private, fusable *)
+  let l3 = mk "t = c[i]\n a[i] = t" in
+  match Depend.fusable l1 l3 with
+  | Ok () -> ()
+  | Error reason -> Alcotest.failf "private scalar should fuse: %s" reason
+
+let test_fusable_read_stream () =
+  (* two read() loops both consume the sequential input stream; fusing
+     them would interleave their stream positions *)
+  let mk b =
+    loop_of
+      (Printf.sprintf
+         "program p\n real a[100]\n real b[100]\n live_out a, b\n for i = 1, 100\n %s\n end for\nend"
+         b)
+  in
+  let reads_a = mk "read(a[i])" and reads_b = mk "read(b[i])" in
+  (match Depend.fusable reads_a reads_b with
+  | Ok () -> Alcotest.fail "two input-consuming loops must not fuse"
+  | Error _ -> ());
+  (* one consumer + one pure compute loop is fine *)
+  let compute = mk "b[i] = b[i] * 2.0" in
+  match Depend.fusable reads_a compute with
+  | Ok () -> ()
+  | Error reason -> Alcotest.failf "read + compute should fuse: %s" reason
+
 let test_pair_test_multidim () =
   let p =
     Parser.parse_program_exn
@@ -352,6 +459,15 @@ let suites =
         Alcotest.test_case "subscript_wrt" `Quick test_refs_subscript_wrt ] );
     ( "analysis.depend",
       [ Alcotest.test_case "fusable cases" `Quick test_fusable_cases;
+        Alcotest.test_case "constant bounds edges" `Quick
+          test_constant_bounds_edges;
+        Alcotest.test_case "mismatched coefficients" `Quick
+          test_pair_test_mismatched_coeffs;
+        Alcotest.test_case "pair_test symmetry" `Quick test_pair_test_symmetry;
+        Alcotest.test_case "carried scalar blocks fusion" `Quick
+          test_fusable_scalar_carried;
+        Alcotest.test_case "input stream blocks fusion" `Quick
+          test_fusable_read_stream;
         Alcotest.test_case "multidim distance" `Quick test_pair_test_multidim;
         Alcotest.test_case "gcd independence" `Quick test_gcd_independent;
         Alcotest.test_case "gcd enables fusion" `Quick test_gcd_blocks_fusion;

@@ -141,8 +141,57 @@ let test_workload_balance_ordering () =
     (Printf.sprintf "dmxpy %.2f > blocked mm %.2f" dmxpy blocked)
     true (dmxpy > 4.0 *. blocked)
 
+let test_random_programs_validation () =
+  Alcotest.check_raises "loops 0"
+    (Invalid_argument
+       "Random_programs.generate: loops must be >= 1 (got 0)") (fun () ->
+      ignore (Random_programs.generate ~seed:1 ~loops:0 ~arrays:2 ~n:10));
+  Alcotest.check_raises "arrays 0"
+    (Invalid_argument
+       "Random_programs.generate: arrays must be >= 1 (got 0)") (fun () ->
+      ignore (Random_programs.generate ~seed:1 ~loops:2 ~arrays:0 ~n:10));
+  Alcotest.check_raises "n -3"
+    (Invalid_argument "Random_programs.generate: n must be >= 1 (got -3)")
+    (fun () ->
+      ignore (Random_programs.generate ~seed:1 ~loops:2 ~arrays:2 ~n:(-3)))
+
+let test_random_programs_deterministic () =
+  let a = Random_programs.generate ~seed:5 ~loops:4 ~arrays:3 ~n:16 in
+  let b = Random_programs.generate ~seed:5 ~loops:4 ~arrays:3 ~n:16 in
+  check bool "equal" true (Bw_ir.Ast.equal_program a b)
+
+(* Satellite property: for 100 seeds, both generators produce programs
+   that type-check and survive a pretty-print/re-parse round trip. *)
+let qcheck_cases =
+  let open QCheck in
+  let checks_and_roundtrips what p =
+    (match Bw_ir.Check.check p with
+    | Ok () -> ()
+    | Error _ -> Test.fail_reportf "%s: Check.check failed" what);
+    let printed = Format.asprintf "%a" Bw_ir.Pretty.pp_program p in
+    match Bw_ir.Parser.parse_program printed with
+    | Error e ->
+      Test.fail_reportf "%s: re-parse failed: %a" what
+        Bw_ir.Parser.pp_parse_error e
+    | Ok p' -> Bw_ir.Ast.equal_program p p'
+  in
+  [ Test.make ~name:"random_programs check + roundtrip" ~count:100
+      (int_range 1 10_000) (fun seed ->
+        checks_and_roundtrips "random_programs"
+          (Random_programs.generate ~seed ~loops:4 ~arrays:3 ~n:16));
+    Test.make ~name:"qa gen check + roundtrip" ~count:100 (int_range 1 10_000)
+      (fun seed ->
+        checks_and_roundtrips "qa gen" (Bw_qa.Gen.generate ~seed ~size:6)) ]
+
 let suites =
-  [ ( "workloads.registry",
+  [ ( "workloads.random",
+      [ Alcotest.test_case "parameter validation" `Quick
+          test_random_programs_validation;
+        Alcotest.test_case "deterministic" `Quick
+          test_random_programs_deterministic ] );
+    ( "workloads.properties",
+      List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_cases );
+    ( "workloads.registry",
       [ Alcotest.test_case "all type-check and run" `Slow test_all_check;
         Alcotest.test_case "unique names" `Quick test_registry_names_unique;
         Alcotest.test_case "find" `Quick test_registry_find ] );
