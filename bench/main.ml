@@ -51,6 +51,41 @@ let micro_tests () =
            ignore
              (Bw_exec.Run.simulate ~machine:Bw_machine.Machine.origin2000 p)))
   in
+  let capture_kernel =
+    let p = Bw_workloads.Stride_kernels.kernel ~writes:1 ~reads:2 ~n:5_000 in
+    Test.make ~name:"capture: 1w2r kernel trace"
+      (Staged.stage (fun () -> ignore (Bw_exec.Run.capture p)))
+  in
+  let replay_kernel =
+    let p = Bw_workloads.Stride_kernels.kernel ~writes:1 ~reads:2 ~n:5_000 in
+    let c = Bw_exec.Run.capture p in
+    Test.make ~name:"replay: 1w2r capture on Origin2000"
+      (Staged.stage (fun () ->
+           ignore
+             (Bw_exec.Run.replay ~machine:Bw_machine.Machine.origin2000 c)))
+  in
+  (* The before/after pair for the capture-once path: simulating two
+     machines the old way re-executes the engine per machine; the new
+     way captures once and fans the replays across domains. *)
+  let two_machines_serial =
+    let p = Bw_workloads.Stride_kernels.kernel ~writes:1 ~reads:2 ~n:5_000 in
+    Test.make ~name:"2 machines: simulate each (baseline)"
+      (Staged.stage (fun () ->
+           ignore (Bw_exec.Run.simulate ~machine:Bw_machine.Machine.origin2000 p);
+           ignore (Bw_exec.Run.simulate ~machine:Bw_machine.Machine.exemplar p)))
+  in
+  let two_machines_fanout =
+    let p = Bw_workloads.Stride_kernels.kernel ~writes:1 ~reads:2 ~n:5_000 in
+    let machines =
+      [ Bw_machine.Machine.origin2000; Bw_machine.Machine.exemplar ]
+    in
+    (* jobs defaults to min(recommended_domain_count, machines): real
+       domains on multicore hosts, serial replay on a 1-CPU box — where
+       the win is still capture-once (one engine run instead of two). *)
+    Test.make ~name:"2 machines: capture + parallel replay"
+      (Staged.stage (fun () ->
+           ignore (Bw_exec.Run.simulate_many ~machines p)))
+  in
   let hyper_cut =
     let h =
       Bw_graph.Graph_gen.hypergraph ~seed:42 ~nodes:60 ~edges:120 ~max_arity:5
@@ -79,8 +114,9 @@ let micro_tests () =
       (Staged.stage (fun () ->
            ignore (Bw_ir.Parser.parse_program_exn src)))
   in
-  [ cache_streaming; interp_sum; compiled_sum; simulate_kernel; hyper_cut;
-    fusion_plan; strategy_pipeline; parse_program ]
+  [ cache_streaming; interp_sum; compiled_sum; simulate_kernel;
+    capture_kernel; replay_kernel; two_machines_serial; two_machines_fanout;
+    hyper_cut; fusion_plan; strategy_pipeline; parse_program ]
 
 (* Run the micro suite and return sorted (name, ns/run) estimates. *)
 let micro_estimates () =

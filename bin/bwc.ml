@@ -15,6 +15,11 @@
      bwc profile <prog>            run simulation + optimizer pipeline under
                                    full span/metrics instrumentation
      bwc fuse <prog>               compare fusion plans and their costs
+     bwc simulate <prog>|--registry
+                                   capture a trace once, replay it on several
+                                   machines in parallel (--machines a,b;
+                                   --check verifies replay = direct simulate;
+                                   --trace-store prints capture stats)
      bwc experiments               regenerate the paper's tables
      bwc fuzz                      differentially fuzz the optimizer pipeline
                                    (--seed/--count/--size drive Qa.Gen;
@@ -635,6 +640,128 @@ let reuse_cmd =
        ~doc:"Reuse-distance profile and cache-size-independent miss-ratio curve")
     Term.(const run $ program_arg $ scale_arg $ granularity)
 
+(* --- simulate ----------------------------------------------------------------- *)
+
+let simulate_cmd =
+  let run name_opt registry scale machines engine jobs check stats =
+    let programs =
+      match (name_opt, registry) with
+      | None, false ->
+        Format.eprintf "bwc: simulate needs a PROGRAM argument or --registry@.";
+        exit 1
+      | Some name, _ -> [ (name, or_die (load_program ~scale name)) ]
+      | None, true ->
+        List.map
+          (fun (e : Bw_workloads.Registry.entry) ->
+            (e.Bw_workloads.Registry.name, e.Bw_workloads.Registry.build ~scale))
+          Bw_workloads.Registry.all
+    in
+    let mismatches = ref 0 in
+    List.iter
+      (fun (name, p) ->
+        let c = Bw_exec.Run.capture ~engine p in
+        let results = Bw_exec.Run.replay_many ?jobs ~machines c in
+        Format.printf "%s:@." name;
+        if stats then begin
+          let s = c.Bw_exec.Run.store in
+          let bpr = Bw_machine.Trace_store.bytes_per_record s in
+          Format.printf
+            "  trace store: %d records in %d bytes (%.2f bytes/record, \
+             %.1fx smaller than flat), %d chunk(s)@."
+            (Bw_machine.Trace_store.records s)
+            (Bw_machine.Trace_store.encoded_bytes s)
+            bpr
+            (if bpr > 0.0 then 24.0 /. bpr else 0.0)
+            (Bw_machine.Trace_store.chunks s)
+        end;
+        List.iter2
+          (fun machine r ->
+            let suffix =
+              if not check then ""
+              else if
+                Bw_exec.Run.equal_result r
+                  (Bw_exec.Run.simulate ~engine ~machine p)
+              then "  replay = direct"
+              else begin
+                incr mismatches;
+                "  REPLAY MISMATCH"
+              end
+            in
+            Format.printf "  %-28s %10.2f ms  %8.0f MB/s%s@."
+              machine.Bw_machine.Machine.name
+              (1e3 *. Bw_exec.Run.seconds r)
+              (Bw_exec.Run.effective_bandwidth r /. 1e6)
+              suffix)
+          machines results)
+      programs;
+    if !mismatches > 0 then begin
+      Format.eprintf "bwc: %d replay/direct mismatch(es)@." !mismatches;
+      exit 2
+    end
+  in
+  let program_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PROGRAM" ~doc:"Workload name or .bw source file.")
+  in
+  let registry_flag =
+    Arg.(
+      value & flag
+      & info [ "registry" ] ~doc:"Simulate every workload in the registry.")
+  in
+  let machines_arg =
+    Arg.(
+      value
+      & opt (list machine_conv)
+          [ Bw_machine.Machine.origin2000; Bw_machine.Machine.exemplar ]
+      & info [ "machines" ] ~docv:"M1,M2,..."
+          ~doc:
+            "Comma-separated machine models to replay the capture on \
+             (origin2000, exemplar, origin-scaled, unconstrained).")
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("compiled", `Compiled); ("interpreted", `Interpreted) ])
+          `Compiled
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Execution engine for the capture: compiled or interpreted.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains for the parallel replay fan-out.")
+  in
+  let check_flag =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Also run a direct per-machine simulation and verify the replay \
+             is bit-identical (exit 2 on any mismatch).")
+  in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "trace-store" ]
+          ~doc:
+            "Print capture statistics: record count, encoded size, bytes \
+             per record and chunk count.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Capture a program's memory-reference trace once and replay it \
+          against several machine models in parallel; results are \
+          bit-identical to per-machine direct simulation (verifiable with \
+          --check)")
+    Term.(
+      const run $ program_opt_arg $ registry_flag $ scale_arg $ machines_arg
+      $ engine_arg $ jobs_arg $ check_flag $ stats_flag)
+
 (* --- experiments -------------------------------------------------------------- *)
 
 let experiments_cmd =
@@ -680,8 +807,8 @@ let () =
   let group =
     Cmd.group ~default info
       [ list_cmd; show_cmd; analyze_cmd; optimize_cmd; profile_cmd; fuse_cmd;
-        advise_cmd; reuse_cmd; experiments_cmd; fuzz_cmd; lint_cmd; faults_cmd;
-        validate_json_cmd ]
+        advise_cmd; reuse_cmd; simulate_cmd; experiments_cmd; fuzz_cmd;
+        lint_cmd; faults_cmd; validate_json_cmd ]
   in
   (* ~catch:false + our own handler: any escaped exception becomes a
      one-line "bwc: ..." on stderr and exit code 1 — no backtraces.

@@ -11,21 +11,27 @@ let origin_scaled =
 
 let pick scale a b = if scale <= 1 then a else b
 
-let seconds machine p = Bw_exec.Run.seconds (Bw_exec.Run.simulate ~machine p)
+(* Multi-machine tables run each program once: capture the trace, then
+   replay it (in parallel, across domains) against every machine — the
+   results are bit-identical to per-machine Run.simulate calls (enforced
+   by the test suite), only the engine re-execution is saved. *)
+let seconds_on machines p =
+  List.map Bw_exec.Run.seconds (Bw_exec.Run.simulate_many ~machines p)
 
 (* --- E1 ------------------------------------------------------------------ *)
 
 let simple_example ?(scale = 2) () =
   let n = pick scale 100_000 2_000_000 in
+  let machines = [ Machine.origin2000; Machine.exemplar ] in
   let write = Bw_workloads.Simple_example.write_loop ~n in
   let read = Bw_workloads.Simple_example.read_loop ~n in
   let rows =
-    List.map
-      (fun machine ->
-        let tw = seconds machine write and tr = seconds machine read in
+    List.map2
+      (fun machine (tw, tr) ->
         [ machine.Machine.name; Table.ms tw; Table.ms tr;
           Table.f2 (tw /. tr) ])
-      [ Machine.origin2000; Machine.exemplar ]
+      machines
+      (List.combine (seconds_on machines write) (seconds_on machines read))
   in
   Table.make ~title:"E1 (Section 2.1): write loop vs read loop"
     ~header:[ "machine"; "a[i]=a[i]+0.4"; "sum+=a[i]"; "ratio" ]
@@ -108,10 +114,8 @@ let fig3 ?(scale = 2) () =
         let p = Bw_workloads.Stride_kernels.kernel ~writes:w ~reads:r ~n in
         name
         :: List.map
-             (fun machine ->
-               let res = Bw_exec.Run.simulate ~machine p in
-               Table.mb_s (Bw_exec.Run.nominal_bandwidth res))
-             machines)
+             (fun res -> Table.mb_s (Bw_exec.Run.nominal_bandwidth res))
+             (Bw_exec.Run.simulate_many ~machines p))
       Bw_workloads.Stride_kernels.all
   in
   Table.make
@@ -262,15 +266,19 @@ let fig8 ?(scale = 2) () =
     | Error e -> invalid_arg e
   in
   let eliminated, _ = Bw_transform.Store_elim.run fused in
+  let machines = [ Machine.origin2000; Machine.exemplar ] in
+  (* Three captures (one per program version), each replayed on both
+     machines, instead of six engine executions. *)
+  let t0s = seconds_on machines original in
+  let t1s = seconds_on machines fused in
+  let t2s = seconds_on machines eliminated in
   let rows =
-    List.map
-      (fun machine ->
-        let t0 = seconds machine original in
-        let t1 = seconds machine fused in
-        let t2 = seconds machine eliminated in
+    List.map2
+      (fun machine ((t0, t1), t2) ->
         [ machine.Machine.name; Table.ms t0; Table.ms t1; Table.ms t2;
           Table.f2 (t0 /. t2) ])
-      [ Machine.origin2000; Machine.exemplar ]
+      machines
+      (List.combine (List.combine t0s t1s) t2s)
   in
   Table.make ~title:"Figure 8: effect of store elimination"
     ~header:[ "machine"; "original"; "fusion only"; "store elimination"; "speedup" ]
@@ -355,29 +363,55 @@ let ablation_pipeline ?(scale = 2) () =
 let ablation_cache ?(scale = 2) () =
   let n = pick scale 64 144 in
   let p = Bw_workloads.Kernels.mm ~order:Bw_workloads.Kernels.Jki ~n () in
-  let rows =
+  let l2_sizes_kb = [ 16; 32; 64; 128; 256; 1024 ] in
+  let line_bytes = 128 in
+  (* One engine execution covers the whole sweep: the capture is replayed
+     against each L2 size for the exact (2-way LRU) simulator columns,
+     and a single Reuse pass over the same capture predicts the miss
+     count of *every* capacity at once (fully associative LRU: an access
+     misses iff its reuse distance >= capacity, plus cold misses). *)
+  let c = Bw_exec.Run.capture p in
+  let reuse = Bw_exec.Run.reuse_of_capture ~granularity:line_bytes c in
+  let machines =
     List.map
       (fun l2_kb ->
-        let machine =
-          { Machine.origin2000 with
-            Machine.name = Printf.sprintf "L2=%dKB" l2_kb;
-            caches =
-              [ { Cache.size_bytes = 2 * 1024; line_bytes = 32; associativity = 2 };
-                { Cache.size_bytes = l2_kb * 1024;
-                  line_bytes = 128;
-                  associativity = 2 } ] }
+        { Machine.origin2000 with
+          Machine.name = Printf.sprintf "L2=%dKB" l2_kb;
+          caches =
+            [ { Cache.size_bytes = 2 * 1024; line_bytes = 32; associativity = 2 };
+              { Cache.size_bytes = l2_kb * 1024;
+                line_bytes;
+                associativity = 2 } ] })
+      l2_sizes_kb
+  in
+  let rows =
+    List.map2
+      (fun l2_kb r ->
+        let mem =
+          match List.rev (Bw_exec.Run.program_balance r) with
+          | (_, v) :: _ -> v
+          | [] -> assert false
         in
-        let b = Balance.of_program ~machine p in
-        match List.rev b.Balance.per_boundary with
-        | (_, mem) :: _ -> [ Printf.sprintf "%d KB" l2_kb; Table.f2 mem ]
-        | [] -> assert false)
-      [ 16; 32; 64; 128; 256; 1024 ]
+        let exact = Cache.memory_lines_in r.Bw_exec.Run.cache in
+        let predicted =
+          Reuse.misses reuse ~capacity_blocks:(l2_kb * 1024 / line_bytes)
+        in
+        [ Printf.sprintf "%d KB" l2_kb;
+          Table.f2 mem;
+          string_of_int exact;
+          string_of_int predicted ])
+      l2_sizes_kb
+      (Bw_exec.Run.replay_many ~machines c)
   in
   Table.make
-    ~title:"Ablation: mm (jki) memory balance vs L2 capacity"
-    ~header:[ "L2 size"; "Mem-L2 bytes/flop" ]
+    ~title:"Ablation: mm (jki) memory traffic vs L2 capacity"
+    ~header:
+      [ "L2 size"; "Mem-L2 bytes/flop"; "L2 misses (exact)";
+        "L2 misses (reuse fast path)" ]
     ~notes:
-      [ "once the working set fits, traffic collapses to compulsory misses — the same effect blocking achieves at fixed cache size" ]
+      [ "once the working set fits, traffic collapses to compulsory misses — the same effect blocking achieves at fixed cache size";
+        "exact column: lines fetched from memory by the 2-way set-associative simulator, one replay per size from a single capture";
+        "fast-path column: one reuse-distance pass over the same capture predicts all capacities at once (fully associative LRU model; all sweep capacities are powers of two, so the histogram is bucket-exact)" ]
     rows
 
 let extensions ?(scale = 2) () =
@@ -471,19 +505,26 @@ let ablation_padding ?(scale = 2) () =
   ignore scale;
   let n = 51_917 in
   let kernel = Bw_workloads.Stride_kernels.kernel ~writes:3 ~reads:6 ~n in
-  let rows =
+  let paddings = [ 0; 32; 64; 128 ] in
+  (* One capture serves all four stagger variants: the canonical trace is
+     layout-independent, and replay re-bases it onto each machine's
+     (differently staggered) array layout. *)
+  let machines =
     List.map
       (fun extra ->
-        let machine =
-          { Machine.exemplar with
-            Machine.name = Printf.sprintf "stagger+%dB" extra;
-            array_stagger_bytes =
-              Machine.exemplar.Machine.array_stagger_bytes + extra }
-        in
-        let r = Bw_exec.Run.simulate ~machine kernel in
+        { Machine.exemplar with
+          Machine.name = Printf.sprintf "stagger+%dB" extra;
+          array_stagger_bytes =
+            Machine.exemplar.Machine.array_stagger_bytes + extra })
+      paddings
+  in
+  let rows =
+    List.map2
+      (fun extra r ->
         [ Printf.sprintf "+%d bytes" extra;
           Table.mb_s (Bw_exec.Run.nominal_bandwidth r) ])
-      [ 0; 32; 64; 128 ]
+      paddings
+      (Bw_exec.Run.simulate_many ~machines kernel)
   in
   Table.make
     ~title:"Ablation: inter-array padding vs the 3w6r conflict outlier (Exemplar)"

@@ -11,7 +11,7 @@ type outcome = {
 let ok o = o.status = Ok
 let all_ok outcomes = List.for_all ok outcomes
 
-let default_jobs () = Domain.recommended_domain_count ()
+let default_jobs () = Bw_exec.Pool.default_jobs ()
 
 (* Fault-injection sites: "harness.table.<id>" fires inside one table's
    rendering (confined to that table's outcome); "harness.worker" fires
@@ -84,44 +84,20 @@ let run ?jobs ?(scale = 1) experiments =
   in
   if jobs <= 1 || n <= 1 then List.map (render_protected ~scale) experiments
   else begin
+    (* Fan out over the shared work-stealing pool (Bw_exec.Pool — the
+       same machinery multi-machine trace replay uses): a slow table
+       (fig5 dominates) doesn't serialise the rest, and results come
+       back in input order. *)
     let inputs = Array.of_list experiments in
-    let results = Array.make n None in
-    (* Work-stealing by atomic counter: domains grab the next unclaimed
-       index, so a slow table (fig5 dominates) doesn't serialise the
-       rest.  Each slot is written by exactly one domain, and the joins
-       below publish the writes before we read them. *)
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec go () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          Bw_obs.Fault.cut "harness.worker";
-          results.(i) <- Some (render_protected ~scale inputs.(i));
-          go ()
-        end
-      in
-      go ()
-    in
-    let domains =
-      Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
-    in
-    (* The calling domain is a worker too; a dying domain (injected
-       fault, asynchronous exception) must not take the run down — its
-       claimed-but-unfinished index is swept up below. *)
-    (try worker () with _ -> ());
-    Array.iter
-      (fun d -> try Domain.join d with _ -> ())
-      domains;
-    (* Indices a dead domain claimed but never finished: retry on this
-       (surviving) domain, up to 2 times, before recording an error. *)
+    (* A slot a dead domain claimed but never finished: retry on the
+       (surviving) calling domain, up to 2 times, before recording an
+       error. *)
     let rec retry i attempts =
+      Bw_obs.Metrics.incr (Bw_obs.Metrics.counter "harness.retries");
       match render_raw ~scale inputs.(i) with
       | o -> o
       | exception e ->
-        if attempts < 2 then begin
-          Bw_obs.Metrics.incr (Bw_obs.Metrics.counter "harness.retries");
-          retry i (attempts + 1)
-        end
+        if attempts < 2 then retry i (attempts + 1)
         else begin
           Bw_obs.Metrics.incr (Bw_obs.Metrics.counter "harness.table_errors");
           { id = fst inputs.(i);
@@ -131,14 +107,11 @@ let run ?jobs ?(scale = 1) experiments =
             status = Error (error_message e) }
         end
     in
-    Array.to_list
-      (Array.mapi
-         (fun i -> function
-           | Some r -> r
-           | None ->
-             Bw_obs.Metrics.incr (Bw_obs.Metrics.counter "harness.retries");
-             retry i 1)
-         results)
+    Bw_exec.Pool.map ~jobs
+      ~on_claim:(fun _ -> Bw_obs.Fault.cut "harness.worker")
+      ~retry:(fun i _ -> retry i 1)
+      (render_protected ~scale) inputs
+    |> Array.to_list
   end
 
 let json_of_results ?trace ~scale ~jobs ~micro outcomes =

@@ -1,0 +1,40 @@
+(* Work-stealing parallel map over domains.  See pool.mli. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ?jobs ?(on_claim = fun _ -> ()) ?retry f items =
+  let n = Array.length items in
+  let retry = match retry with Some r -> r | None -> fun _ x -> f x in
+  let jobs =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> min (default_jobs ()) n
+  in
+  if jobs <= 1 || n <= 1 then Array.map f items
+  else begin
+    let results = Array.make n None in
+    (* Work-stealing by atomic counter: each slot is written by exactly
+       one domain, and the joins below publish the writes before the
+       calling domain reads them. *)
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          on_claim i;
+          results.(i) <- Some (f items.(i));
+          go ()
+        end
+      in
+      go ()
+    in
+    let domains = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    (* The calling domain is a worker too; a dying domain (injected
+       fault, asynchronous exception) must not take the map down — its
+       claimed-but-unfinished slots are swept up below. *)
+    (try worker () with _ -> ());
+    Array.iter (fun d -> try Domain.join d with _ -> ()) domains;
+    Array.mapi
+      (fun i -> function Some r -> r | None -> retry i items.(i))
+      results
+  end

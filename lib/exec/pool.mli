@@ -1,0 +1,44 @@
+(** Work-stealing domain pool for embarrassingly parallel maps.
+
+    Extracted from the bench harness so both table generation
+    ({!Bw_core.Harness}) and multi-machine trace replay
+    ({!Run.simulate_many}) fan out over the same machinery: domains
+    claim the next unclaimed index from an atomic counter — so one slow
+    item does not serialise the rest — and results come back in input
+    order, making a parallel map's output indistinguishable from a
+    serial one.
+
+    The pool is crash-tolerant in the way the harness needs: a worker
+    domain that dies (asynchronous exception, injected fault) leaves its
+    claimed-but-unfinished slots to be recomputed on the calling domain
+    after the joins, via [retry]. *)
+
+(** [map f items] computes [Array.map f items] across domains.
+
+    [jobs] caps the worker domains (default
+    [Domain.recommended_domain_count ()], capped at the item count);
+    [jobs <= 1] or fewer than two items runs serially on the calling
+    domain with no spawns, no [on_claim] and no [retry].
+
+    [on_claim i] runs on the worker immediately after it claims index
+    [i], before [f] — the harness hangs its worker-death fault site
+    here.
+
+    [retry i x] recomputes a slot a dead worker claimed but never
+    finished (default: [f x] again, on the calling domain).  Exceptions
+    from [retry] — and from [f] when running serially — propagate to the
+    caller; an exception from [f] on a spawned worker kills only that
+    worker, and the slot is retried.
+
+    [f] must be safe to run concurrently with itself on other domains
+    (share nothing mutable, or share only atomics). *)
+val map :
+  ?jobs:int ->
+  ?on_claim:(int -> unit) ->
+  ?retry:(int -> 'a -> 'b) ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
+
+(** The worker count [map] uses when [?jobs] is omitted. *)
+val default_jobs : unit -> int

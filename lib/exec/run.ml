@@ -16,17 +16,19 @@ let engine_name = function
    simulator have finished — the per-access hot paths (Cache.read/write,
    Trace_buffer.record) carry no metrics calls, which is what keeps the
    disabled-observability overhead at zero on the micro-benchmarks. *)
-let publish_engine ~engine ~sink ~(counters : Counters.t) =
+let publish_engine_raw ~engine ~flushes ~elements ~flops =
   let pfx = "engine." ^ engine_name engine ^ "." in
   let c name = Bw_obs.Metrics.counter (pfx ^ name) in
   Bw_obs.Metrics.incr (c "runs");
-  Bw_obs.Metrics.incr
-    ~by:(Trace_buffer.flushes sink.Interp.trace)
-    (c "trace_flushes");
-  Bw_obs.Metrics.incr
-    ~by:(counters.Counters.loads + counters.Counters.stores)
-    (c "elements");
-  Bw_obs.Metrics.incr ~by:counters.Counters.flops (c "flops")
+  Bw_obs.Metrics.incr ~by:flushes (c "trace_flushes");
+  Bw_obs.Metrics.incr ~by:elements (c "elements");
+  Bw_obs.Metrics.incr ~by:flops (c "flops")
+
+let publish_engine ~engine ~sink ~(counters : Counters.t) =
+  publish_engine_raw ~engine
+    ~flushes:(Trace_buffer.flushes sink.Interp.trace)
+    ~elements:(counters.Counters.loads + counters.Counters.stores)
+    ~flops:counters.Counters.flops
 
 let publish_cache cache =
   List.iteri
@@ -83,6 +85,14 @@ let drain_into_cache ~translation ~cache ~counters buf =
   counters.Counters.loads <- counters.Counters.loads + !loads;
   counters.Counters.stores <- counters.Counters.stores + !stores
 
+let array_decls (program : Bw_ir.Ast.program) =
+  List.filter_map
+    (fun d ->
+      if Bw_ir.Ast.is_array d then
+        Some (d.Bw_ir.Ast.var_name, Bw_ir.Ast.decl_bytes d)
+      else None)
+    program.Bw_ir.Ast.decls
+
 let simulate ?(flush = true) ?(engine = `Compiled) ~machine
     (program : Bw_ir.Ast.program) =
   Bw_obs.Trace.with_span ~cat:"simulate"
@@ -100,12 +110,7 @@ let simulate ?(flush = true) ?(engine = `Compiled) ~machine
   let layout =
     Layout.assign ~align_bytes:machine.Machine.array_align_bytes
       ~stagger_bytes:machine.Machine.array_stagger_bytes
-      (List.filter_map
-         (fun d ->
-           if Bw_ir.Ast.is_array d then
-             Some (d.Bw_ir.Ast.var_name, Bw_ir.Ast.decl_bytes d)
-           else None)
-         program.Bw_ir.Ast.decls)
+      (array_decls program)
   in
   let translation = Machine.fresh_translation machine in
   let cache = Machine.fresh_cache machine in
@@ -149,15 +154,7 @@ let observe ?(engine = `Compiled) program =
 let reuse_profile ?(granularity = 32) ?(engine = `Compiled)
     (program : Bw_ir.Ast.program) =
   let profile = Reuse.create ~granularity () in
-  let layout =
-    Layout.assign ~stagger_bytes:0
-      (List.filter_map
-         (fun d ->
-           if Bw_ir.Ast.is_array d then
-             Some (d.Bw_ir.Ast.var_name, Bw_ir.Ast.decl_bytes d)
-           else None)
-         program.Bw_ir.Ast.decls)
-  in
+  let layout = Layout.assign ~stagger_bytes:0 (array_decls program) in
   let sink =
     Interp.make_sink
       ~on_trace:
@@ -170,6 +167,140 @@ let reuse_profile ?(granularity = 32) ?(engine = `Compiled)
        ~base_of:(fun name -> Layout.base layout name)
        program);
   profile
+
+(* --- capture once, replay many -------------------------------------------- *)
+
+(* Captured traces use a machine-independent canonical address space:
+   array [i] (declaration order) lives at base [(i + 1) lsl shift] with
+   [1 lsl shift >= decl_bytes], so replay recovers (array, offset) with
+   one shift/mask — no per-record search — and re-bases onto any
+   machine's layout before applying that machine's translation. *)
+type capture = {
+  captured_program : Bw_ir.Ast.program;
+  captured_engine : [ `Compiled | `Interpreted ];
+  captured_observation : Interp.observation;
+  captured_flops : int;
+  captured_int_ops : int;
+  arrays : (string * int) list;
+  shift : int;
+  store : Trace_store.t;
+}
+
+(* Smallest shift whose span covers the largest array; floored at 12 so
+   canonical bases stay page-aligned (hence line-aligned at any real
+   granularity), keeping block partitions identical across layouts. *)
+let canonical_shift arrays =
+  let max_bytes = List.fold_left (fun acc (_, b) -> max acc b) 1 arrays in
+  let rec go s = if 1 lsl s >= max_bytes then s else go (s + 1) in
+  go 12
+
+let capture ?(engine = `Compiled) (program : Bw_ir.Ast.program) =
+  Bw_obs.Trace.with_span ~cat:"capture"
+    ~attrs:[ ("engine", Bw_obs.Trace.Str (engine_name engine)) ]
+    ~result_attrs:(fun c ->
+      [ ("records", Bw_obs.Trace.Int (Trace_store.records c.store));
+        ( "encoded_bytes",
+          Bw_obs.Trace.Int (Trace_store.encoded_bytes c.store) ) ])
+    ("capture:" ^ program.Bw_ir.Ast.prog_name)
+  @@ fun () ->
+  let arrays = array_decls program in
+  let shift = canonical_shift arrays in
+  let bases = Hashtbl.create 16 in
+  List.iteri
+    (fun i (name, _) -> Hashtbl.replace bases name ((i + 1) lsl shift))
+    arrays;
+  let store = Trace_store.create () in
+  let sink =
+    Interp.make_sink ~on_trace:(fun buf -> Trace_store.append_buffer store buf) ()
+  in
+  let observation =
+    run_engine ~engine ~sink ~base_of:(Hashtbl.find bases) program
+  in
+  publish_engine_raw ~engine
+    ~flushes:(Trace_buffer.flushes sink.Interp.trace)
+    ~elements:(Trace_store.records store)
+    ~flops:sink.Interp.flops;
+  Bw_obs.Metrics.incr (Bw_obs.Metrics.counter "trace_store.captures");
+  Bw_obs.Metrics.incr
+    ~by:(Trace_store.records store)
+    (Bw_obs.Metrics.counter "trace_store.records");
+  Bw_obs.Metrics.incr
+    ~by:(Trace_store.encoded_bytes store)
+    (Bw_obs.Metrics.counter "trace_store.encoded_bytes");
+  { captured_program = program;
+    captured_engine = engine;
+    captured_observation = observation;
+    captured_flops = sink.Interp.flops;
+    captured_int_ops = sink.Interp.int_ops;
+    arrays;
+    shift;
+    store }
+
+let replay ?(flush = true) ~machine c =
+  Bw_obs.Trace.with_span ~cat:"replay"
+    ~attrs:[ ("machine", Bw_obs.Trace.Str machine.Machine.name) ]
+    ~result_attrs:(fun r ->
+      [ ("loads", Bw_obs.Trace.Int r.counters.Counters.loads);
+        ("stores", Bw_obs.Trace.Int r.counters.Counters.stores);
+        ("memory_bytes", Bw_obs.Trace.Int (Timing.memory_bytes r.cache)) ])
+    ("replay:" ^ c.captured_program.Bw_ir.Ast.prog_name)
+  @@ fun () ->
+  let layout =
+    Layout.assign ~align_bytes:machine.Machine.array_align_bytes
+      ~stagger_bytes:machine.Machine.array_stagger_bytes c.arrays
+  in
+  let machine_bases =
+    Array.of_list (List.map (fun (name, _) -> Layout.base layout name) c.arrays)
+  in
+  let shift = c.shift in
+  let mask = (1 lsl shift) - 1 in
+  let remap addr =
+    Array.unsafe_get machine_bases ((addr lsr shift) - 1) + (addr land mask)
+  in
+  let translation = Machine.fresh_translation machine in
+  let cache = Machine.fresh_cache machine in
+  let counters = Counters.create () in
+  Trace_store.replay ~remap c.store ~translation ~cache ~counters;
+  counters.Counters.flops <- c.captured_flops;
+  counters.Counters.int_ops <- c.captured_int_ops;
+  if flush then Cache.flush cache;
+  Bw_obs.Metrics.incr (Bw_obs.Metrics.counter "trace_store.replays");
+  publish_cache cache;
+  let breakdown = Timing.predict machine cache counters in
+  { machine;
+    observation = c.captured_observation;
+    counters;
+    cache;
+    breakdown }
+
+let replay_many ?jobs ?flush ~machines c =
+  match machines with
+  | [] -> []
+  | [ machine ] -> [ replay ?flush ~machine c ]
+  | _ ->
+    Pool.map ?jobs
+      (fun machine -> replay ?flush ~machine c)
+      (Array.of_list machines)
+    |> Array.to_list
+
+let simulate_many ?jobs ?flush ?engine ~machines program =
+  let c = capture ?engine program in
+  replay_many ?jobs ?flush ~machines c
+
+let reuse_of_capture ?(granularity = 32) c =
+  let profile = Reuse.create ~granularity () in
+  Trace_store.iter c.store ~f:(fun _kind addr _bytes ->
+      Reuse.access profile ~addr);
+  profile
+
+let equal_result a b =
+  a.machine.Machine.name = b.machine.Machine.name
+  && a.counters = b.counters
+  && Cache.stats_snapshot a.cache = Cache.stats_snapshot b.cache
+  && Cache.memory_lines_in a.cache = Cache.memory_lines_in b.cache
+  && Cache.memory_lines_out a.cache = Cache.memory_lines_out b.cache
+  && a.breakdown = b.breakdown
+  && Interp.equal_observation a.observation b.observation
 
 let effective_bandwidth r =
   Timing.effective_bandwidth r.machine r.cache r.counters

@@ -27,6 +27,80 @@ val simulate :
   Bw_ir.Ast.program ->
   result
 
+(** A captured execution: the program's full memory-reference stream,
+    delta/varint-encoded in a {!Bw_machine.Trace_store}, plus everything
+    machine-independent the simulation pipeline needs (observation,
+    flop/int-op tallies, array sizes).  Capturing runs the execution
+    engine {e once}; each {!replay} then evaluates the stream against
+    one machine model without re-executing the program.
+
+    Captured addresses live in a canonical space — array [i] at base
+    [(i + 1) lsl shift] — so replay re-bases them onto the target
+    machine's layout (alignment, stagger) with one shift/mask and then
+    applies that machine's page translation, making one capture valid
+    for machines that differ in caches, write policy, translation and
+    layout alike. *)
+type capture = {
+  captured_program : Bw_ir.Ast.program;
+  captured_engine : [ `Compiled | `Interpreted ];
+  captured_observation : Interp.observation;
+  captured_flops : int;
+  captured_int_ops : int;
+  arrays : (string * int) list;  (** (name, bytes), declaration order *)
+  shift : int;  (** canonical base shift: array [i] at [(i+1) lsl shift] *)
+  store : Bw_machine.Trace_store.t;
+}
+
+(** Execute [program] once and capture its memory-reference stream.
+    [engine] as in {!simulate} (default [`Compiled]). *)
+val capture :
+  ?engine:[ `Compiled | `Interpreted ] -> Bw_ir.Ast.program -> capture
+
+(** [replay ~machine c] evaluates the captured stream on [machine]:
+    fresh cache, fresh translation, same record order.  The result is
+    bit-identical to [simulate ~machine] of the captured program with
+    the captured engine — every counter, per-level cache statistic,
+    memory line count and timing term — a property the test suite and
+    the [bwc simulate --check] CI smoke enforce.  [flush] as in
+    {!simulate}. *)
+val replay : ?flush:bool -> machine:Bw_machine.Machine.t -> capture -> result
+
+(** [replay_many ~machines c] replays on each machine, fanning out
+    across domains ({!Pool}; [jobs] caps the workers).  Results are in
+    [machines] order and bit-identical to serial {!replay} calls. *)
+val replay_many :
+  ?jobs:int ->
+  ?flush:bool ->
+  machines:Bw_machine.Machine.t list ->
+  capture ->
+  result list
+
+(** [simulate_many ~machines program] = {!capture} once, then
+    {!replay_many}: the program executes once however many machines are
+    evaluated, and each result is bit-identical to a direct
+    [simulate ~machine]. *)
+val simulate_many :
+  ?jobs:int ->
+  ?flush:bool ->
+  ?engine:[ `Compiled | `Interpreted ] ->
+  machines:Bw_machine.Machine.t list ->
+  Bw_ir.Ast.program ->
+  result list
+
+(** Reuse-distance profile of a captured stream (loads and stores alike),
+    at [granularity]-byte blocks (default 32) — one pass over the store,
+    no cache model, predicting the miss count of every fully associative
+    LRU capacity at once (see {!Bw_machine.Reuse}).  Canonical bases are
+    at least page-aligned, so the block partition matches a packed
+    layout's for any real granularity. *)
+val reuse_of_capture : ?granularity:int -> capture -> Bw_machine.Reuse.t
+
+(** Structural equality of two simulation results: machine name, all
+    counters, per-level cache statistics, memory line counts, the full
+    timing breakdown, and the observation.  This is the bit-identity
+    oracle used by the replay tests and [bwc simulate --check]. *)
+val equal_result : result -> result -> bool
+
 (** Execute for semantics only — no machine, no cache — returning the
     observation and the CPU-side counters (flops/loads/stores).
     [engine] as in {!simulate} (default [`Compiled]). *)

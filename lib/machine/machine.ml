@@ -8,6 +8,7 @@ type t = {
   register_bandwidth : float;
   caches : Cache.geometry list;
   cache_bandwidths : float list;
+  cache_write_policy : Cache.write_policy;
   writeback_penalty : float;
   array_stagger_bytes : int;
   array_align_bytes : int;
@@ -38,7 +39,7 @@ let balance t =
   in
   List.map (fun bw -> bw /. t.flops_per_sec) bws
 
-let fresh_cache t = Cache.create t.caches
+let fresh_cache t = Cache.create ~write_policy:t.cache_write_policy t.caches
 
 (* SGI Origin2000, 195 MHz MIPS R10000: peak 390 Mflops (fused
    multiply-add), 32 KB 2-way L1 with 32 B lines, 4 MB 2-way unified L2
@@ -56,6 +57,7 @@ let origin2000 =
           line_bytes = 128;
           associativity = 2 } ];
     cache_bandwidths = [ 4.0 *. flops; 0.8 *. flops ];
+    cache_write_policy = Cache.Write_back;
     writeback_penalty = 1.15;
     (* IRIX-style page colouring: consecutive arrays staggered by a page,
        so parallel streams never collide in the two-way caches *)
@@ -78,6 +80,7 @@ let exemplar =
     caches =
       [ { Cache.size_bytes = 1024 * 1024; line_bytes = 32; associativity = 1 } ];
     cache_bandwidths = [ 560e6 ];
+    cache_write_policy = Cache.Write_back;
     writeback_penalty = 1.4;
     array_stagger_bytes = 4096;
     array_align_bytes = 8;
@@ -94,6 +97,7 @@ let unconstrained =
           line_bytes = 128;
           associativity = 2 } ];
     cache_bandwidths = [ 1e15; 1e15 ];
+    cache_write_policy = Cache.Write_back;
     writeback_penalty = 1.0;
     array_stagger_bytes = 4 * 1024;
     array_align_bytes = 4 * 1024;

@@ -23,6 +23,10 @@ type t = {
   cache_bandwidths : float list;
       (** bytes/s between cache level [i] and level [i+1]; the last entry
           is the memory bus bandwidth.  Length = [List.length caches]. *)
+  cache_write_policy : Cache.write_policy;
+      (** store handling across the hierarchy ({!Cache.Write_back} on
+          both calibrated testbeds; {!Cache.Write_through} models
+          no-write-allocate machines) *)
   writeback_penalty : float;
       (** relative cost of a write-back byte on the memory bus (>= 1);
           models read/write turnaround on the §2.1 measurements *)

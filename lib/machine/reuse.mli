@@ -32,7 +32,10 @@ val cold : t -> int
 val footprint_blocks : t -> int
 
 (** [misses t ~capacity_blocks] is the number of accesses a fully
-    associative LRU cache with that many blocks would miss. *)
+    associative LRU cache with that many blocks would miss.  Exact at
+    power-of-two capacities (bucket boundaries); in between, the
+    straddling bucket's count is prorated assuming a uniform
+    distribution inside the bucket and rounded to nearest. *)
 val misses : t -> capacity_blocks:int -> int
 
 (** [miss_ratio t ~capacity_blocks] = misses / total (0 if no accesses). *)

@@ -63,6 +63,75 @@ let test_misses_monotone () =
   check int "infinite cache = cold misses" (Reuse.cold t)
     (Reuse.misses t ~capacity_blocks:(1 lsl 20))
 
+(* --- proration at non-power-of-two capacities -------------------------------- *)
+
+(* Three reuses all at distance 4 land in bucket [4,8).  Capacity 6 sits
+   halfway through, so the prorated miss share is 0.5 * 3 = 1.5: rounding
+   to nearest gives 2 (truncation used to give 1). *)
+let test_proration_rounds_to_nearest () =
+  let t = Reuse.create ~granularity:8 () in
+  (* A B C D E A / F G H I J F / K L M N O K : distance 4 each *)
+  List.iter
+    (fun base ->
+      feed t (List.init 5 (fun i -> 8 * (base + i)));
+      feed t [ 8 * base ])
+    [ 0; 10; 20 ];
+  check int "cold" 15 (Reuse.cold t);
+  check (Alcotest.list (Alcotest.pair int int)) "one [4,8) bucket"
+    [ (4, 3) ] (Reuse.histogram t);
+  check int "capacity 6 rounds 1.5 up" (15 + 2)
+    (Reuse.misses t ~capacity_blocks:6)
+
+(* At the bucket boundaries no proration happens: capacity = lo counts
+   the whole bucket as misses, capacity = hi counts it entirely as hits. *)
+let test_proration_boundaries_pinned () =
+  let t = Reuse.create ~granularity:8 () in
+  List.iter
+    (fun base ->
+      feed t (List.init 5 (fun i -> 8 * (base + i)));
+      feed t [ 8 * base ])
+    [ 0; 10; 20 ];
+  check int "capacity = lo: whole bucket misses" (15 + 3)
+    (Reuse.misses t ~capacity_blocks:4);
+  check int "capacity = hi: whole bucket hits" 15
+    (Reuse.misses t ~capacity_blocks:8)
+
+(* --- Fenwick growth ----------------------------------------------------------- *)
+
+(* Naive O(n^2) oracle: distance = distinct blocks strictly between the
+   two accesses to the same block. *)
+let naive_profile addrs ~granularity =
+  let arr = Array.of_list (List.map (fun a -> a / granularity) addrs) in
+  let n = Array.length arr in
+  let last = Hashtbl.create 64 in
+  let cold = ref 0 in
+  let buckets = Hashtbl.create 16 in
+  let bucket_of d =
+    if d = 0 then 0
+    else begin
+      let rec log2 x acc = if x <= 1 then acc else log2 (x lsr 1) (acc + 1) in
+      1 lsl log2 d 0
+    end
+  in
+  for i = 0 to n - 1 do
+    (match Hashtbl.find_opt last arr.(i) with
+    | None -> incr cold
+    | Some j ->
+      let seen = Hashtbl.create 16 in
+      for k = j + 1 to i - 1 do
+        Hashtbl.replace seen arr.(k) ()
+      done;
+      let b = bucket_of (Hashtbl.length seen) in
+      Hashtbl.replace buckets b
+        (1 + Option.value ~default:0 (Hashtbl.find_opt buckets b)));
+    Hashtbl.replace last arr.(i) i
+  done;
+  let hist =
+    Hashtbl.fold (fun b c acc -> (b, c) :: acc) buckets []
+    |> List.sort compare
+  in
+  (!cold, hist)
+
 (* --- oracle: fully associative LRU cache ------------------------------------- *)
 
 let lru_misses addrs ~granularity ~capacity_blocks =
@@ -75,6 +144,28 @@ let lru_misses addrs ~granularity ~capacity_blocks =
   List.iter (fun a -> Cache.read cache ~addr:a ~bytes:1) addrs;
   let s = Cache.stats cache 0 in
   s.Cache.read_misses
+
+(* 5000 accesses grow the 1024-slot bit array three times (at 1024, 2048
+   and 4096), so the rebuilt Fenwick trees answer the same prefix sums
+   as incrementally built ones — checked against the quadratic oracle. *)
+let test_growth_preserves_histogram () =
+  let rng = Random.State.make [| 42; 7 |] in
+  let addrs = List.init 5000 (fun _ -> 8 * Random.State.int rng 300) in
+  let t = Reuse.create ~granularity:8 () in
+  feed t addrs;
+  let cold, hist = naive_profile addrs ~granularity:8 in
+  (* the stamp clock is rewound by compaction; the access count isn't *)
+  check int "total survives compaction" (List.length addrs) (Reuse.total t);
+  check int "cold" cold (Reuse.cold t);
+  check (Alcotest.list (Alcotest.pair int int)) "histogram" hist
+    (Reuse.histogram t);
+  List.iter
+    (fun capacity ->
+      check int
+        (Printf.sprintf "misses at capacity %d" capacity)
+        (lru_misses addrs ~granularity:8 ~capacity_blocks:capacity)
+        (Reuse.misses t ~capacity_blocks:capacity))
+    [ 1; 4; 16; 64; 256 ]
 
 let test_matches_fully_associative_lru () =
   (* at power-of-two capacities the bucketed histogram is exact *)
@@ -165,6 +256,12 @@ let suites =
         Alcotest.test_case "duplicates not distinct" `Quick test_duplicates_not_distinct;
         Alcotest.test_case "granularity" `Quick test_granularity_blocks;
         Alcotest.test_case "misses monotone" `Quick test_misses_monotone;
+        Alcotest.test_case "proration rounds to nearest" `Quick
+          test_proration_rounds_to_nearest;
+        Alcotest.test_case "proration boundaries pinned" `Quick
+          test_proration_boundaries_pinned;
+        Alcotest.test_case "growth preserves histogram" `Slow
+          test_growth_preserves_histogram;
         Alcotest.test_case "matches fully-assoc LRU" `Slow test_matches_fully_associative_lru ] );
     ( "machine.reuse_profiles",
       [ Alcotest.test_case "streaming profile" `Quick test_streaming_program_profile;
