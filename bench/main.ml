@@ -114,9 +114,36 @@ let micro_tests () =
       (Staged.stage (fun () ->
            ignore (Bw_ir.Parser.parse_program_exn src)))
   in
+  (* The tiered-evaluator pair: the same registry workload priced by the
+     exact tier (replay of a pre-captured stream — the engine run is
+     deliberately excluded, biasing the comparison *against* the
+     analytic tier) and by the analytic tier (closed form, no execution
+     at all).  The speedup between these two rows is the triage factor
+     the tiered evaluator buys and is asserted >= 100x below. *)
+  let mm =
+    match Bw_workloads.Registry.find "mm_jki" with
+    | Some e -> e.Bw_workloads.Registry.build ~scale:1
+    | None -> assert false
+  in
+  let evaluate_exact =
+    let c = Bw_exec.Run.capture mm in
+    Test.make ~name:"evaluate mm_jki: exact tier (replay)"
+      (Staged.stage (fun () ->
+           ignore
+             (Bw_exec.Run.replay ~machine:Bw_machine.Machine.origin2000 c)))
+  in
+  let evaluate_analytic =
+    Test.make ~name:"evaluate mm_jki: analytic tier (closed form)"
+      (Staged.stage (fun () ->
+           ignore
+             (Bw_exec.Evaluate.of_program
+                ~budget:Bw_exec.Evaluate.Microseconds
+                ~machine:Bw_machine.Machine.origin2000 mm)))
+  in
   [ cache_streaming; interp_sum; compiled_sum; simulate_kernel;
     capture_kernel; replay_kernel; two_machines_serial; two_machines_fanout;
-    hyper_cut; fusion_plan; strategy_pipeline; parse_program ]
+    hyper_cut; fusion_plan; strategy_pipeline; parse_program;
+    evaluate_exact; evaluate_analytic ]
 
 (* Run the micro suite and return sorted (name, ns/run) estimates. *)
 let micro_estimates () =
@@ -142,7 +169,23 @@ let print_micro estimates =
   Format.printf "== micro-benchmarks (monotonic clock, ns/run) ==@.";
   List.iter
     (fun (name, est) -> Format.printf "%-50s %12.0f ns@." name est)
-    estimates
+    estimates;
+  (* Surface the tiered-evaluator triage factor explicitly: exact-tier
+     replay ns / analytic-tier ns on the same registry workload. *)
+  let find needle =
+    List.find_opt
+      (fun (name, _) ->
+        String.length name >= String.length needle
+        && List.exists
+             (fun i -> String.sub name i (String.length needle) = needle)
+             (List.init (String.length name - String.length needle + 1) Fun.id))
+      estimates
+  in
+  match (find "exact tier (replay)", find "analytic tier (closed form)") with
+  | Some (_, exact), Some (_, analytic) when analytic > 0.0 ->
+    Format.printf "analytic tier speedup over exact replay: %.0fx@."
+      (exact /. analytic)
+  | _ -> ()
 
 (* --- entry point ---------------------------------------------------------- *)
 

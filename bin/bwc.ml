@@ -20,6 +20,11 @@
                                    machines in parallel (--machines a,b;
                                    --check verifies replay = direct simulate;
                                    --trace-store prints capture stats)
+     bwc predict <prog>|--registry
+                                   closed-form analytic prediction next to
+                                   the exact simulator with per-cell error
+                                   (--machines a,b; --check gates on the
+                                   documented error envelope, exit 2)
      bwc experiments               regenerate the paper's tables
      bwc fuzz                      differentially fuzz the optimizer pipeline
                                    (--seed/--count/--size drive Qa.Gen;
@@ -762,6 +767,68 @@ let simulate_cmd =
       const run $ program_opt_arg $ registry_flag $ scale_arg $ machines_arg
       $ engine_arg $ jobs_arg $ check_flag $ stats_flag)
 
+(* --- predict ----------------------------------------------------------------- *)
+
+let predict_cmd =
+  let run name_opt registry scale machines check =
+    let rows =
+      match (name_opt, registry) with
+      | None, false ->
+        Format.eprintf "bwc: predict needs a PROGRAM argument or --registry@.";
+        exit 1
+      | Some name, _ ->
+        Bw_core.Accuracy.measure_program ~machines ~name
+          (or_die (load_program ~scale name))
+      | None, true -> Bw_core.Accuracy.measure ~scale ~machines ()
+    in
+    print_string (Bw_core.Table.to_string (Bw_core.Accuracy.table rows));
+    if check then begin
+      match Bw_core.Accuracy.check rows with
+      | [] ->
+        Format.printf "envelope: ok (%d cell(s) within documented bounds)@."
+          (List.length rows)
+      | violations ->
+        List.iter (Format.eprintf "bwc: envelope violation: %s@.") violations;
+        exit 2
+    end
+  in
+  let program_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PROGRAM" ~doc:"Workload name or .bw source file.")
+  in
+  let registry_flag =
+    Arg.(
+      value & flag
+      & info [ "registry" ] ~doc:"Predict every workload in the registry.")
+  in
+  let machines_arg =
+    Arg.(
+      value
+      & opt (list machine_conv) Bw_core.Accuracy.default_machines
+      & info [ "machines" ] ~docv:"M1,M2,..."
+          ~doc:
+            "Comma-separated machine models to predict and simulate on \
+             (origin2000, exemplar, origin-scaled, unconstrained).")
+  in
+  let check_flag =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Verify every cell against the documented error envelope; \
+             exit 2 on a violation (CI gate).")
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:
+         "Closed-form analytic prediction (no execution) next to the exact \
+          simulator, with per-cell relative error")
+    Term.(
+      const run $ program_opt_arg $ registry_flag $ scale_arg $ machines_arg
+      $ check_flag)
+
 (* --- experiments -------------------------------------------------------------- *)
 
 let experiments_cmd =
@@ -807,8 +874,8 @@ let () =
   let group =
     Cmd.group ~default info
       [ list_cmd; show_cmd; analyze_cmd; optimize_cmd; profile_cmd; fuse_cmd;
-        advise_cmd; reuse_cmd; simulate_cmd; experiments_cmd; fuzz_cmd;
-        lint_cmd; faults_cmd; validate_json_cmd ]
+        advise_cmd; reuse_cmd; simulate_cmd; predict_cmd; experiments_cmd;
+        fuzz_cmd; lint_cmd; faults_cmd; validate_json_cmd ]
   in
   (* ~catch:false + our own handler: any escaped exception becomes a
      one-line "bwc: ..." on stderr and exit code 1 — no backtraces.

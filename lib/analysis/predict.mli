@@ -1,0 +1,80 @@
+(** Closed-form bandwidth and runtime prediction — the analytic tier.
+
+    The predictor walks the IR once, building a per-array, per-loop
+    picture of the reference pattern (trip counts, strides from
+    {!Affine} subscripts, footprints), and evaluates a
+    Treibig-&-Hager-style bandwidth-limited performance model against a
+    machine's cache geometry: per-level line traffic, memory bytes, and
+    a runtime bound as the max over the CPU rate and every hierarchy
+    boundary's bandwidth.  Nothing executes; a query costs microseconds
+    regardless of problem size, which is what lets fusion searches and
+    capacity sweeps triage thousands of candidates before paying for a
+    single trace replay.
+
+    The model is deliberately simple — fully associative caches, affine
+    reuse only, both branches of every [If] charged — so its answers
+    carry an error envelope, not a guarantee.  The envelope measured
+    against the exact simulator across the workload registry is
+    documented in EXPERIMENTS.md; callers that need exactness use the
+    higher tiers of {!Bw_exec.Evaluate}. *)
+
+(** {1 Trip-count estimation}
+
+    Shared with {!Bw_transform.Ir_stats}: an interval environment for
+    loop indices lets symbolic bounds introduced by tiling
+    ([lo = Scalar tile_origin; hi = min (tile_origin + t - 1) n]) be
+    estimated instead of falling back to a fixed default. *)
+
+(** Maps loop indices to the integer interval their values span. *)
+type env
+
+val empty_env : env
+
+(** [bind_loop env l] extends [env] with [l.index]'s value interval, when
+    the bounds are estimable; otherwise returns [env] unchanged. *)
+val bind_loop : env -> Bw_ir.Ast.loop -> env
+
+(** Fallback trip count when bounds cannot be estimated at all. *)
+val default_trips : int
+
+(** [trips env l] estimates how many iterations [l] executes: exact for
+    constant bounds, the interval-midpoint estimate for affine and
+    min/max bounds over indices in [env] (exact for the loops {!Tile}
+    introduces when the tile divides the extent), [default_trips]
+    otherwise. *)
+val trips : env -> Bw_ir.Ast.loop -> float
+
+(** {1 Prediction} *)
+
+(** Predicted behaviour of one cache level. *)
+type level = {
+  capacity_bytes : int;
+  line_bytes : int;
+  lines_in : float;  (** lines fetched into this level *)
+  lines_out : float;  (** dirty lines written back toward the next level *)
+}
+
+type t = {
+  flops : float;
+  loads : float;  (** array-element reads (scalars are register-resident) *)
+  stores : float;
+  footprint_bytes : float;  (** distinct bytes the program touches *)
+  levels : level list;  (** CPU-closest first, one per machine cache *)
+  memory_bytes_in : float;
+  memory_bytes_out : float;
+  cpu_seconds : float;
+  register_seconds : float;
+  boundary_seconds : (string * float) list;
+  seconds : float;  (** max over CPU and all bandwidth terms *)
+  binding_resource : string;
+}
+
+(** Total predicted memory-bus traffic, in + out. *)
+val memory_bytes : t -> float
+
+(** [predict ~machine p] evaluates the model.  Pure and O(program size ×
+    cache levels): no execution, no allocation proportional to the trip
+    counts. *)
+val predict : machine:Bw_machine.Machine.t -> Bw_ir.Ast.program -> t
+
+val pp : Format.formatter -> t -> unit

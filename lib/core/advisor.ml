@@ -11,6 +11,7 @@ type report = {
   machine_name : string;
   binding_resource : string;
   memory_demand_ratio : float;
+  analytic : Bw_exec.Evaluate.t;
   suggestions : suggestion list;
 }
 
@@ -147,11 +148,20 @@ let diagnose ~machine (p : Bw_ir.Ast.program) =
     machine_name = machine.Bw_machine.Machine.name;
     binding_resource = base.Bw_exec.Run.breakdown.Bw_machine.Timing.binding_resource;
     memory_demand_ratio = ratio;
+    analytic =
+      Bw_exec.Evaluate.of_program ~budget:Bw_exec.Evaluate.Microseconds
+        ~machine p;
     suggestions }
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>%s on %s: bound by %s (worst demand/supply %.1fx)@,"
     r.program_name r.machine_name r.binding_resource r.memory_demand_ratio;
+  Format.fprintf ppf
+    "analytic prediction (no execution): %.3f ms, %.2f MB memory traffic, \
+     bound by %s@,"
+    (r.analytic.Bw_exec.Evaluate.seconds *. 1e3)
+    (Bw_exec.Evaluate.memory_bytes r.analytic /. 1e6)
+    r.analytic.Bw_exec.Evaluate.binding_resource;
   (match r.suggestions with
   | [] -> Format.fprintf ppf "no bandwidth-reducing transformation found@,"
   | l ->

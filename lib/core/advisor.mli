@@ -21,6 +21,10 @@ type report = {
   machine_name : string;
   binding_resource : string;
   memory_demand_ratio : float;  (** worst demand/supply ratio *)
+  analytic : Bw_exec.Evaluate.t;
+      (** the analytic tier's prediction for the input program — what a
+          pure triage pass (no execution) would have reported; its
+          fidelity tag is always [Analytic] *)
   suggestions : suggestion list;  (** best first; empty if nothing helps *)
 }
 

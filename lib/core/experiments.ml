@@ -1,13 +1,6 @@
 open Bw_machine
 
-let origin_scaled =
-  { Machine.origin2000 with
-    Machine.name = "Origin2000 (scaled caches)";
-    (* L1 keeps its real 32 KB (stream working sets are small); only the
-       4 MB L2 shrinks, keeping laptop-sized arrays >> L2 *)
-    caches =
-      [ { Cache.size_bytes = 32 * 1024; line_bytes = 32; associativity = 2 };
-        { Cache.size_bytes = 256 * 1024; line_bytes = 128; associativity = 2 } ] }
+let origin_scaled = Accuracy.origin_scaled
 
 let pick scale a b = if scale <= 1 then a else b
 
@@ -386,7 +379,7 @@ let ablation_cache ?(scale = 2) () =
   in
   let rows =
     List.map2
-      (fun l2_kb r ->
+      (fun (l2_kb, machine) r ->
         let mem =
           match List.rev (Bw_exec.Run.program_balance r) with
           | (_, v) :: _ -> v
@@ -396,22 +389,34 @@ let ablation_cache ?(scale = 2) () =
         let predicted =
           Reuse.misses reuse ~capacity_blocks:(l2_kb * 1024 / line_bytes)
         in
+        (* Analytic tier: no execution at all — closed-form traffic from
+           the IR and this variant's geometry. *)
+        let analytic =
+          Bw_exec.Evaluate.of_program ~budget:Bw_exec.Evaluate.Microseconds
+            ~machine p
+        in
+        let analytic_lines =
+          analytic.Bw_exec.Evaluate.memory_bytes_in
+          /. float_of_int line_bytes
+        in
         [ Printf.sprintf "%d KB" l2_kb;
           Table.f2 mem;
           string_of_int exact;
-          string_of_int predicted ])
-      l2_sizes_kb
+          string_of_int predicted;
+          Printf.sprintf "%.0f" analytic_lines ])
+      (List.combine l2_sizes_kb machines)
       (Bw_exec.Run.replay_many ~machines c)
   in
   Table.make
     ~title:"Ablation: mm (jki) memory traffic vs L2 capacity"
     ~header:
       [ "L2 size"; "Mem-L2 bytes/flop"; "L2 misses (exact)";
-        "L2 misses (reuse fast path)" ]
+        "L2 misses (reuse fast path)"; "L2 misses (analytic)" ]
     ~notes:
       [ "once the working set fits, traffic collapses to compulsory misses — the same effect blocking achieves at fixed cache size";
         "exact column: lines fetched from memory by the 2-way set-associative simulator, one replay per size from a single capture";
-        "fast-path column: one reuse-distance pass over the same capture predicts all capacities at once (fully associative LRU model; all sweep capacities are powers of two, so the histogram is bucket-exact)" ]
+        "fast-path column: one reuse-distance pass over the same capture predicts all capacities at once (fully associative LRU model; all sweep capacities are powers of two, so the histogram is bucket-exact)";
+        "analytic column: closed-form prediction from the IR alone (Evaluate Microseconds tier) — no execution, microseconds per cell; error envelope in EXPERIMENTS.md" ]
     rows
 
 let extensions ?(scale = 2) () =
@@ -534,6 +539,10 @@ let ablation_padding ?(scale = 2) () =
         "this is the fix the paper's conflict-miss conjecture implies" ]
     rows
 
+(* Predicted-vs-simulated accuracy of the analytic tier over the whole
+   registry on the three default validation machines (see Accuracy). *)
+let predict ?(scale = 2) () = Accuracy.table (Accuracy.measure ~scale ())
+
 let all =
   [ ("e1", simple_example);
     ("fig1", fig1);
@@ -549,4 +558,5 @@ let all =
     ("ablation-fusion", ablation_fusion);
     ("ablation-pipeline", ablation_pipeline);
     ("ablation-cache", ablation_cache);
-    ("ablation-padding", ablation_padding) ]
+    ("ablation-padding", ablation_padding);
+    ("predict", predict) ]

@@ -57,5 +57,9 @@ val ablation_pipeline : ?scale:int -> unit -> Table.t
 (** Ablation: sensitivity of memory balance to cache capacity. *)
 val ablation_cache : ?scale:int -> unit -> Table.t
 
+(** Analytic predictor vs exact simulator over the registry on the
+    {!Accuracy.default_machines} (see {!Accuracy} for the envelope). *)
+val predict : ?scale:int -> unit -> Table.t
+
 (** All experiments, keyed by the ids used in DESIGN.md. *)
 val all : (string * (?scale:int -> unit -> Table.t)) list

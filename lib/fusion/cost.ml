@@ -70,3 +70,13 @@ let edge_weight_cost (g : Fusion_graph.t) partitions =
 
 let unfused (g : Fusion_graph.t) =
   List.init (Fusion_graph.node_count g) (fun i -> [ i ])
+
+let predicted_traffic ?(machine = Bw_machine.Machine.origin2000)
+    (p : Bw_ir.Ast.program) partitions =
+  match Bw_transform.Fuse.apply_plan p partitions with
+  | Error _ as e -> e
+  | Ok fused ->
+    Ok
+      (Bw_exec.Evaluate.memory_bytes
+         (Bw_exec.Evaluate.of_program ~budget:Bw_exec.Evaluate.Microseconds
+            ~machine fused))

@@ -24,3 +24,20 @@ val unfused : Fusion_graph.t -> int list list
 (** Shared-array count between two nodes (the edge weight of the
     classical formulation). *)
 val shared_arrays : Fusion_graph.t -> int -> int -> int
+
+(** [predicted_traffic ?machine p partitions] prices a partition
+    sequence in {e bytes} rather than array counts: the plan is applied
+    with {!Bw_transform.Fuse.apply_plan} and the resulting program is
+    scored with the analytic tier of the tiered evaluator
+    ({!Bw_exec.Evaluate} at [Microseconds] budget — closed-form, no
+    execution) on [machine] (default
+    {!Bw_machine.Machine.origin2000}).  Returns the predicted
+    memory-bus traffic of the fused program, or the plan-application
+    error.  Unlike {!bandwidth_cost}, this accounts for array sizes,
+    cache capacities, line granularity and writebacks, so it can rank
+    plans that touch the same arrays different numbers of times. *)
+val predicted_traffic :
+  ?machine:Bw_machine.Machine.t ->
+  Bw_ir.Ast.program ->
+  int list list ->
+  (float, string) result

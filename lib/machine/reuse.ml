@@ -244,3 +244,16 @@ let curve t ~sizes =
     (fun size ->
       (size, miss_ratio t ~capacity_blocks:(max 1 (size / t.granularity))))
     sizes
+
+let footprint_bytes t = t.entries * t.granularity
+
+let miss_curve t =
+  if total t = 0 then []
+  else begin
+    let rec go cap acc =
+      let acc = (cap * t.granularity, miss_ratio t ~capacity_blocks:cap) :: acc in
+      if cap >= t.entries || cap > max_int / 4 then List.rev acc
+      else go (cap * 2) acc
+    in
+    go 1 []
+  end

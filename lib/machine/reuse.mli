@@ -50,3 +50,14 @@ val histogram : t -> (int * int) list
 (** Miss-ratio curve over cache sizes in bytes (each converted to
     [size / granularity] blocks): [(size_bytes, miss_ratio)]. *)
 val curve : t -> sizes:int list -> (int * float) list
+
+(** Distinct bytes touched: {!footprint_blocks} [* granularity]. *)
+val footprint_bytes : t -> int
+
+(** The full miss-ratio-vs-cache-size curve, sampled at every
+    power-of-two capacity from one block up to the first capacity that
+    holds the whole footprint — exactly the points where the bucketed
+    histogram is exact.  [(size_bytes, miss_ratio)] pairs, ascending;
+    empty when no accesses were recorded.  One profiling pass prices
+    every cache size a capacity sweep will ever ask about. *)
+val miss_curve : t -> (int * float) list

@@ -9,32 +9,7 @@ type t = {
   predicted_balance : float;
 }
 
-let default_trips = 16
-
-let rec const_int (e : Ast.expr) =
-  match e with
-  | Ast.Int_lit n -> Some n
-  | Ast.Unary (Ast.Neg, e) -> Option.map (fun n -> -n) (const_int e)
-  | Ast.Binary (op, a, b) -> (
-    match (const_int a, const_int b) with
-    | Some a, Some b -> (
-      match op with
-      | Ast.Add -> Some (a + b)
-      | Ast.Sub -> Some (a - b)
-      | Ast.Mul -> Some (a * b)
-      | Ast.Div -> if b = 0 then None else Some (a / b)
-      | Ast.Mod -> if b = 0 then None else Some (a mod b)
-      | Ast.Min -> Some (min a b)
-      | Ast.Max -> Some (max a b))
-    | _ -> None)
-  | _ -> None
-
-let trips (loop : Ast.loop) =
-  match (const_int loop.Ast.lo, const_int loop.Ast.hi, const_int loop.Ast.step)
-  with
-  | Some lo, Some hi, Some step when step > 0 ->
-    float_of_int (max 0 (((hi - lo) / step) + 1))
-  | _ -> float_of_int default_trips
+let default_trips = Bw_analysis.Predict.default_trips
 
 (* flops and element references of one expression, subscripts included *)
 let expr_cost e =
@@ -65,7 +40,11 @@ let lvalue_cost = function
       (0, 1) (* the store itself *)
       subs
 
-let rec stmts_cost mult stmts acc =
+(* Trip counts delegate to the predictor's interval analysis: constant
+   bounds fold exactly as before, and the index environment lets the
+   symbolic bounds Tile introduces resolve to the real tile extent
+   instead of the default. *)
+let rec stmts_cost env mult stmts acc =
   List.fold_left
     (fun (flops, bytes) s ->
       match s with
@@ -87,7 +66,7 @@ let rec stmts_cost mult stmts acc =
           ( flops +. (mult *. float_of_int fc),
             bytes +. (mult *. float_of_int (8 * ec)) )
         in
-        stmts_cost mult else_ (stmts_cost mult then_ acc)
+        stmts_cost env mult else_ (stmts_cost env mult then_ acc)
       | Ast.For loop ->
         (* bound expressions evaluate once per entry, charged at [mult] *)
         let fb, eb =
@@ -102,11 +81,16 @@ let rec stmts_cost mult stmts acc =
           ( flops +. (mult *. float_of_int fb),
             bytes +. (mult *. float_of_int (8 * eb)) )
         in
-        stmts_cost (mult *. trips loop) loop.Ast.body acc)
+        let env' = Bw_analysis.Predict.bind_loop env loop in
+        stmts_cost env'
+          (mult *. Bw_analysis.Predict.trips env loop)
+          loop.Ast.body acc)
     acc stmts
 
 let of_program (p : Ast.program) =
-  let est_flops, est_bytes = stmts_cost 1.0 p.Ast.body (0.0, 0.0) in
+  let est_flops, est_bytes =
+    stmts_cost Bw_analysis.Predict.empty_env 1.0 p.Ast.body (0.0, 0.0)
+  in
   { toplevel = List.length p.Ast.body;
     statements = Ast_util.stmt_count p.Ast.body;
     distinct_arrays = List.length (Ast_util.arrays_accessed p p.Ast.body);

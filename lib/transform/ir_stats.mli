@@ -6,9 +6,11 @@
     operator or intrinsic call costs one flop, each array-element
     occurrence moves 8 bytes, and loop bodies are multiplied by the trip
     count when the bounds fold to constants (the shipped workloads bake
-    concrete sizes in, so they fold; symbolic bounds introduced by e.g.
-    tiling fall back to {!default_trips}).  Both arms of a conditional
-    are charged — an upper bound. *)
+    concrete sizes in, so they fold).  Symbolic bounds are estimated by
+    {!Bw_analysis.Predict.trips}'s interval analysis — in particular the
+    [lo = t, hi = min (t + tile - 1) n] loops Tile introduces resolve to
+    the tile extent instead of {!default_trips}.  Both arms of a
+    conditional are charged — an upper bound. *)
 
 type t = {
   toplevel : int;  (** top-level statements (fusion merges these) *)

@@ -64,8 +64,37 @@ let pass name f p =
 
 let count name n = Bw_obs.Metrics.incr ~by:n (Bw_obs.Metrics.counter name)
 
+let fuse_accept = Bw_obs.Metrics.counter "pass.fuse.analytic_accept"
+let fuse_reject = Bw_obs.Metrics.counter "pass.fuse.analytic_reject"
+
+let analytic_traffic ~machine p =
+  Bw_exec.Evaluate.memory_bytes
+    (Bw_exec.Evaluate.of_program ~budget:Bw_exec.Evaluate.Microseconds ~machine
+       p)
+
+(* Fusion candidates are scored with the analytic tier of the tiered
+   evaluator before being committed: the greedy sweep's output is kept
+   only when the closed-form model does not predict a memory-traffic
+   regression beyond 5% on [machine].  Fusion removes loop boundaries
+   and never adds references, so the model should always accept real
+   candidates — the gate exists to catch pathological ones for the price
+   of two closed-form queries instead of a replay.  Accept/reject
+   decisions are counted under [pass.fuse.analytic_*]. *)
+let gated_greedy ~machine p =
+  let p' = Fuse.greedy p in
+  if p' == p then p'
+  else if analytic_traffic ~machine p' <= 1.05 *. analytic_traffic ~machine p
+  then begin
+    Bw_obs.Metrics.incr fuse_accept;
+    p'
+  end
+  else begin
+    Bw_obs.Metrics.incr fuse_reject;
+    p
+  end
+
 let run_guarded ?(options = all_on) ?(guard = Guard.default_config)
-    (p : Bw_ir.Ast.program) =
+    ?(machine = Bw_machine.Machine.origin2000) (p : Bw_ir.Ast.program) =
   Bw_obs.Trace.with_span ~cat:"optimizer"
     ("optimize:" ^ p.Bw_ir.Ast.prog_name)
   @@ fun () ->
@@ -80,7 +109,7 @@ let run_guarded ?(options = all_on) ?(guard = Guard.default_config)
     if options.fuse then
       fst
         (Guard.stage g ~name:"fuse" ~default:()
-           (pass "fuse" (fun p -> (Fuse.greedy p, ())))
+           (pass "fuse" (fun p -> (gated_greedy ~machine p, ())))
            p)
     else p
   in
@@ -133,8 +162,8 @@ let run_guarded ?(options = all_on) ?(guard = Guard.default_config)
       forwarded },
     Guard.events g )
 
-let run ?options p =
-  let p', report, _events = run_guarded ?options p in
+let run ?options ?machine p =
+  let p', report, _events = run_guarded ?options ?machine p in
   (p', report)
 
 let pp_report ppf r =

@@ -33,24 +33,36 @@ val fusion_only : options
     fault-injection site named [guard.<stage>]. *)
 val stage_names : string list
 
-(** [run ?options p] applies the pipeline, returning the transformed
-    program and a report of what each stage did.  Runs under
+(** [run ?options ?machine p] applies the pipeline, returning the
+    transformed program and a report of what each stage did.  Runs under
     {!Guard.default_config}: no differential validation (and so no
     execution overhead), but per-stage checking and rollback — a result
     always type-checks provided [p] does, and a raising or
     check-breaking stage contributes nothing rather than aborting the
-    run. *)
-val run : ?options:options -> Bw_ir.Ast.program -> Bw_ir.Ast.program * stage_report
+    run.
 
-(** [run_guarded ?options ?guard p] additionally returns the guard's
-    per-stage events (commits and rollbacks, in pipeline order) and
-    honours a custom {!Guard.config} — differential validation trials,
-    float tolerance, a fuel budget, and fail-fast mode.
+    The fusion stage scores its candidate with the analytic tier of the
+    tiered evaluator ({!Bw_exec.Evaluate} at [Microseconds] budget) on
+    [machine] (default {!Bw_machine.Machine.origin2000}) and keeps the
+    fused program only if the model predicts no memory-traffic
+    regression beyond 5%; decisions are counted in {!Bw_obs.Metrics}
+    under [pass.fuse.analytic_accept] / [pass.fuse.analytic_reject]. *)
+val run :
+  ?options:options ->
+  ?machine:Bw_machine.Machine.t ->
+  Bw_ir.Ast.program ->
+  Bw_ir.Ast.program * stage_report
+
+(** [run_guarded ?options ?guard ?machine p] additionally returns the
+    guard's per-stage events (commits and rollbacks, in pipeline order)
+    and honours a custom {!Guard.config} — differential validation
+    trials, float tolerance, a fuel budget, and fail-fast mode.
     @raise Guard.Guard_failed on the first stage failure when
     [guard.rollback] is [false]. *)
 val run_guarded :
   ?options:options ->
   ?guard:Guard.config ->
+  ?machine:Bw_machine.Machine.t ->
   Bw_ir.Ast.program ->
   Bw_ir.Ast.program * stage_report * Guard.event list
 
