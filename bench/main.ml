@@ -13,7 +13,11 @@
                                                  (per-table spans included)
      dune exec bench/main.exe -- --out F.json -- write the JSON to F.json
      dune exec bench/main.exe -- --micro      -- Bechamel micro-benchmarks
-                                                 of the core algorithms *)
+                                                 of the core algorithms
+     dune exec bench/main.exe -- --serve      -- serve load bench only
+                                                 (--requests N, --clients N;
+                                                 runs automatically with
+                                                 --json, stats under "serve") *)
 
 let default_json_path = "BENCH_results.json"
 
@@ -187,6 +191,46 @@ let print_micro estimates =
       (exact /. analytic)
   | _ -> ()
 
+(* --- serve load bench ------------------------------------------------------ *)
+
+(* Spin up an in-process server on a private Unix socket, drive it with
+   the load generator (client domains with their own connections and a
+   seeded mixed op stream), and report latency percentiles, throughput
+   and the cache hit rate.  This is the service-level companion to the
+   micro suite: it exercises the accept loop, the worker pool, the
+   result cache and the simulate batcher together. *)
+let serve_bench ~requests ~clients =
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bwc-bench-%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Bw_serve.Server.start
+      (Bw_serve.Server.default_config (Bw_serve.Server.Unix_sock sock))
+  in
+  Fun.protect
+    ~finally:(fun () -> Bw_serve.Server.stop server)
+    (fun () ->
+      let spec =
+        { (Bw_serve.Loadgen.default_spec (Bw_serve.Server.addr server)) with
+          Bw_serve.Loadgen.requests;
+          clients }
+      in
+      let stats = Bw_serve.Loadgen.run spec in
+      Format.printf
+        "== serve load bench ==@.%d requests / %d clients in %.2f s \
+         (%.0f req/s)@.latency p50 %.2f ms, p90 %.2f ms, p99 %.2f ms, max \
+         %.2f ms@.cache hit rate %.1f%%, %d errors@."
+        stats.Bw_serve.Loadgen.requests stats.Bw_serve.Loadgen.clients
+        stats.Bw_serve.Loadgen.wall_seconds
+        stats.Bw_serve.Loadgen.throughput_rps stats.Bw_serve.Loadgen.p50_ms
+        stats.Bw_serve.Loadgen.p90_ms stats.Bw_serve.Loadgen.p99_ms
+        stats.Bw_serve.Loadgen.max_ms
+        (100.0 *. stats.Bw_serve.Loadgen.hit_rate)
+        stats.Bw_serve.Loadgen.errors;
+      stats)
+
 (* --- entry point ---------------------------------------------------------- *)
 
 let () =
@@ -219,7 +263,25 @@ let () =
     end
     else []
   in
-  if has "--micro" && not json then ()
+  (* The serve load bench runs whenever the JSON artifact is written
+     (its stats land under the "serve" key) or on explicit request. *)
+  let serve_stats =
+    if has "--serve" || json then begin
+      let requests =
+        match Option.bind (value_of "--requests") int_of_string_opt with
+        | Some n when n >= 1 -> n
+        | _ -> 1000
+      in
+      let clients =
+        match Option.bind (value_of "--clients") int_of_string_opt with
+        | Some n when n >= 1 -> n
+        | _ -> 2
+      in
+      Some (serve_bench ~requests ~clients)
+    end
+    else None
+  in
+  if (has "--micro" || has "--serve") && not json then ()
   else begin
     let scale = if has "--quick" then 1 else 2 in
     let only = value_of "--table" in
@@ -266,8 +328,10 @@ let () =
        code and a one-line summary per failed table carry the bad news. *)
     if json then begin
       let trace = Bw_obs.Trace.collect () in
+      let serve = Option.map Bw_serve.Loadgen.json_of_stats serve_stats in
       let doc =
-        Bw_core.Harness.json_of_results ~trace ~scale ~jobs ~micro outcomes
+        Bw_core.Harness.json_of_results ~trace ?serve ~scale ~jobs ~micro
+          outcomes
       in
       let oc = open_out json_path in
       output_string oc (Bw_core.Bench_json.to_string doc);

@@ -857,6 +857,257 @@ let experiments_cmd =
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
     Term.(const run $ scale_arg $ only)
 
+(* --- serve / client ---------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Listen on (serve) or connect to (client) a Unix socket at $(docv).")
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"TCP host (with --port).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"Listen on (serve) or connect to (client) TCP $(docv); 0 lets \
+              the kernel pick (printed at startup).")
+
+(* --socket wins if both are given; neither means a Unix socket at the
+   default path. *)
+let resolve_addr socket host port =
+  match (socket, port) with
+  | Some path, _ -> Bw_serve.Server.Unix_sock path
+  | None, Some p -> Bw_serve.Server.Tcp (host, p)
+  | None, None -> Bw_serve.Server.Unix_sock "bwc.sock"
+
+let serve_cmd =
+  let run socket host port jobs cache_capacity verbose =
+    let addr = resolve_addr socket host port in
+    let config =
+      { (Bw_serve.Server.default_config addr) with
+        Bw_serve.Server.jobs;
+        cache_capacity;
+        verbose }
+    in
+    let server = Bw_serve.Server.start config in
+    Bw_serve.Server.install_signal_handlers server;
+    Format.printf "bwc serve: listening on %a (pid %d)@."
+      Bw_serve.Server.pp_addr
+      (Bw_serve.Server.addr server)
+      (Unix.getpid ());
+    Bw_serve.Server.wait server;
+    if verbose then Format.eprintf "bwc serve: drained, exiting@."
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains for the compute pool (default: cores - 1).")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Result-cache entries before LRU eviction.")
+  in
+  let verbose_flag =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Log drain progress to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the bandwidth-advisor service: a long-running daemon answering \
+          analyze/predict/optimize/simulate/fuzz requests as JSON lines over \
+          a Unix or TCP socket, with a content-addressed result cache, \
+          batched simulation, and a /metrics endpoint.  SIGTERM drains and \
+          exits 0.")
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ jobs_arg $ cache_arg
+      $ verbose_flag)
+
+let client_cmd =
+  let run socket host port op_name id program source_file machines engine_name
+      budget_name scale seed count size no_cache load clients requests out =
+    let addr = resolve_addr socket host port in
+    if load then begin
+      (* load-generator mode: seeded mixed stream, stats JSON out *)
+      let spec =
+        { (Bw_serve.Loadgen.default_spec addr) with
+          Bw_serve.Loadgen.clients;
+          requests;
+          seed;
+          scale }
+      in
+      let stats = Bw_serve.Loadgen.run spec in
+      let doc = Bw_core.Json.to_string (Bw_serve.Loadgen.json_of_stats stats) in
+      (match out with
+      | None -> print_endline doc
+      | Some path ->
+        let oc = open_out path in
+        output_string oc doc;
+        output_char oc '\n';
+        close_out oc);
+      if stats.Bw_serve.Loadgen.errors > 0 then exit 2
+    end
+    else if op_name = "metrics-raw" then
+      (* scrape the /metrics endpoint and print the exposition text *)
+      print_string (or_die (Bw_serve.Client.fetch_metrics addr))
+    else begin
+      let op =
+        match Bw_serve.Protocol.op_of_name op_name with
+        | Some op -> op
+        | None ->
+          Format.eprintf "bwc: unknown op '%s' (try ping, metrics, analyze, \
+                          predict, optimize, simulate, fuzz, shutdown)@."
+            op_name;
+          exit 1
+      in
+      let source =
+        Option.map
+          (fun path ->
+            let ic = open_in_bin path in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            s)
+          source_file
+      in
+      let base = Bw_serve.Protocol.default_request op in
+      let req =
+        { base with
+          Bw_serve.Protocol.id;
+          program;
+          source;
+          scale;
+          machines =
+            (if machines = [] then base.Bw_serve.Protocol.machines
+             else machines);
+          engine = or_die (Bw_serve.Protocol.engine_of_name engine_name);
+          budget = or_die (Bw_serve.Protocol.budget_of_name budget_name);
+          seed;
+          count;
+          size;
+          no_cache }
+      in
+      let response = or_die (Bw_serve.Client.one_shot addr req) in
+      print_endline (Bw_core.Json.to_string response);
+      match Bw_serve.Protocol.response_result response with
+      | Ok _ -> ()
+      | Error _ -> exit 1
+    end
+  in
+  let op_arg =
+    Arg.(
+      value
+      & pos 0 string "ping"
+      & info [] ~docv:"OP"
+          ~doc:
+            "Operation: ping, metrics, analyze, predict, optimize, simulate, \
+             fuzz, shutdown — or metrics-raw to scrape the /metrics endpoint.")
+  in
+  let id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"ID" ~doc:"Correlation id echoed in the response.")
+  in
+  let program_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "program" ] ~docv:"NAME"
+          ~doc:"Registry workload name or server-side .bw path.")
+  in
+  let source_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "source" ] ~docv:"FILE"
+          ~doc:"Send the contents of a local .bw file as inline source.")
+  in
+  let machines_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "machines" ] ~docv:"M1,M2,..."
+          ~doc:"Machine models the server should target.")
+  in
+  let engine_arg =
+    Arg.(
+      value & opt string "compiled"
+      & info [ "engine" ] ~docv:"ENGINE" ~doc:"compiled or interpreted.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt string "exact"
+      & info [ "budget" ] ~docv:"TIER"
+          ~doc:"Predict tier: analytic, reuse or exact.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N" ~doc:"Fuzz / load-generator seed.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "count" ] ~docv:"N" ~doc:"Fuzz: programs to test.")
+  in
+  let size_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "size" ] ~docv:"N" ~doc:"Fuzz: generator size knob.")
+  in
+  let no_cache_flag =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Bypass the server's result cache.")
+  in
+  let load_flag =
+    Arg.(
+      value & flag
+      & info [ "load" ]
+          ~doc:
+            "Load-generator mode: drive a seeded mixed request stream from \
+             --clients domains and print latency/hit-rate statistics as JSON \
+             (exit 2 if any request failed).")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "clients" ] ~docv:"N" ~doc:"Load mode: client domains.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "requests" ] ~docv:"N" ~doc:"Load mode: total requests.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Load mode: write the stats JSON here.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running bwc serve daemon: send one request and print the \
+          response, scrape metrics, or drive a load-generator stream.")
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ op_arg $ id_arg
+      $ program_arg $ source_arg $ machines_arg $ engine_arg $ budget_arg
+      $ scale_arg $ seed_arg $ count_arg $ size_arg $ no_cache_flag $ load_flag
+      $ clients_arg $ requests_arg $ out_arg)
+
 let () =
   (match Bw_obs.Fault.arm_from_env () with
   | Ok () -> ()
@@ -875,7 +1126,8 @@ let () =
     Cmd.group ~default info
       [ list_cmd; show_cmd; analyze_cmd; optimize_cmd; profile_cmd; fuse_cmd;
         advise_cmd; reuse_cmd; simulate_cmd; predict_cmd; experiments_cmd;
-        fuzz_cmd; lint_cmd; faults_cmd; validate_json_cmd ]
+        fuzz_cmd; lint_cmd; faults_cmd; validate_json_cmd; serve_cmd;
+        client_cmd ]
   in
   (* ~catch:false + our own handler: any escaped exception becomes a
      one-line "bwc: ..." on stderr and exit code 1 — no backtraces.

@@ -1,13 +1,8 @@
-(** A minimal JSON representation for the benchmark harness's
-    machine-readable output ([bench/main.exe --json]).
+(** Alias of {!Json} kept for the benchmark harness's historical
+    callers; new code should use {!Json} directly.  The type equation
+    makes the two interchangeable. *)
 
-    Deliberately tiny: the repository has no JSON dependency, and the
-    harness only needs objects, arrays, strings, numbers and ints.  The
-    parser accepts exactly what {!to_string} emits (standard JSON with
-    [true]/[false]/[null], numbers, strings with the common escapes),
-    which is all the round-trip tests require. *)
-
-type t =
+type t = Json.t =
   | Null
   | Bool of bool
   | Int of int
@@ -20,13 +15,10 @@ val to_string : t -> string
 
 exception Parse_error of string
 
-(** Parse a complete JSON document; raises {!Parse_error} on malformed
-    input or trailing garbage. *)
 val parse : string -> t
-
-(** Accessors returning [None] on shape mismatch. *)
 val member : string -> t -> t option
-
 val to_list : t -> t list option
-val to_float : t -> float option (* accepts Int too *)
+val to_float : t -> float option
 val to_str : t -> string option
+val to_int : t -> int option
+val to_bool : t -> bool option

@@ -114,10 +114,10 @@ let run ?jobs ?(scale = 1) experiments =
     |> Array.to_list
   end
 
-let json_of_results ?trace ~scale ~jobs ~micro outcomes =
+let json_of_results ?trace ?serve ~scale ~jobs ~micro outcomes =
   let base =
     [
-      ("schema_version", Bench_json.Int 3);
+      ("schema_version", Bench_json.Int 4);
       ("scale", Bench_json.Int scale);
       ("jobs", Bench_json.Int jobs);
       ( "tables",
@@ -159,4 +159,7 @@ let json_of_results ?trace ~scale ~jobs ~micro outcomes =
     | None | Some [] -> []
     | Some spans -> [ ("trace", Trace_export.json_of_spans spans) ]
   in
-  Bench_json.Obj (base @ trace_field)
+  let serve_field =
+    match serve with None -> [] | Some j -> [ ("serve", j) ]
+  in
+  Bench_json.Obj (base @ serve_field @ trace_field)

@@ -51,17 +51,20 @@ val default_jobs : unit -> int
 val declare_fault_sites : unit -> unit
 
 (** [json_of_results ~scale ~jobs ~micro outcomes] builds the
-    [BENCH_results.json] document (schema version 3): run parameters;
+    [BENCH_results.json] document (schema version 4): run parameters;
     each table's id, title, full rendered body, wall-clock seconds, a
     [status] field (["ok"] or ["error"]) and — for failed tables — an
     [error] message; and micro-benchmark estimates as
     [(name, ns_per_run)] pairs (empty when the micro suite was not
-    run).  [?trace] embeds the harness's collected spans under a
-    ["trace"] key as a Chrome trace document (omitted when absent or
-    empty), so one artifact carries both the numbers and the timeline
-    that produced them. *)
+    run).  [?serve] embeds the service load-bench statistics under a
+    ["serve"] key (omitted when the serve bench was not run).
+    [?trace] embeds the harness's collected spans under a ["trace"]
+    key as a Chrome trace document (omitted when absent or empty), so
+    one artifact carries both the numbers and the timeline that
+    produced them. *)
 val json_of_results :
   ?trace:Bw_obs.Trace.span list ->
+  ?serve:Bench_json.t ->
   scale:int ->
   jobs:int ->
   micro:(string * float) list ->

@@ -38,3 +38,108 @@ let map ?jobs ?(on_claim = fun _ -> ()) ?retry f items =
       (fun i -> function Some r -> r | None -> retry i items.(i))
       results
   end
+
+(* --- persistent task pool ------------------------------------------------- *)
+
+(* Long-running worker domains draining a shared queue.  The queue and
+   every future are guarded by one mutex each; submission and
+   completion are signalled through condition variables, which work
+   across domains and threads alike — the serve daemon submits from
+   per-connection threads and awaits there while worker domains
+   execute. *)
+
+type task = Task : (unit -> 'a) * 'a future -> task
+
+and 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable state : 'a state;
+}
+
+and 'a state = Pending | Done of 'a | Failed of exn
+
+type t = {
+  m : Mutex.t;
+  c : Condition.t;
+  queue : task Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+  pool_jobs : int;
+}
+
+let fulfill fut v =
+  Mutex.lock fut.fm;
+  fut.state <- v;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+let worker_loop pool () =
+  let rec go () =
+    Mutex.lock pool.m;
+    while Queue.is_empty pool.queue && not pool.stopping do
+      Condition.wait pool.c pool.m
+    done;
+    if Queue.is_empty pool.queue && pool.stopping then Mutex.unlock pool.m
+    else begin
+      let (Task (f, fut)) = Queue.pop pool.queue in
+      Mutex.unlock pool.m;
+      (match f () with
+      | v -> fulfill fut (Done v)
+      | exception e -> fulfill fut (Failed e));
+      go ()
+    end
+  in
+  go ()
+
+let create ?jobs () =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> max 1 (default_jobs () - 1)
+  in
+  let pool =
+    { m = Mutex.create ();
+      c = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [||];
+      pool_jobs = jobs }
+  in
+  pool.workers <- Array.init jobs (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let jobs pool = pool.pool_jobs
+
+let submit pool f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+  Mutex.lock pool.m;
+  if pool.stopping then begin
+    Mutex.unlock pool.m;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push (Task (f, fut)) pool.queue;
+  Condition.signal pool.c;
+  Mutex.unlock pool.m;
+  fut
+
+let await fut =
+  Mutex.lock fut.fm;
+  let pending () = match fut.state with Pending -> true | _ -> false in
+  while pending () do
+    Condition.wait fut.fc fut.fm
+  done;
+  let r = fut.state in
+  Mutex.unlock fut.fm;
+  match r with
+  | Done v -> Ok v
+  | Failed e -> Error e
+  | Pending -> assert false
+
+let await_exn fut = match await fut with Ok v -> v | Error e -> raise e
+
+let run pool f = await_exn (submit pool f)
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  pool.stopping <- true;
+  Condition.broadcast pool.c;
+  Mutex.unlock pool.m;
+  Array.iter (fun d -> try Domain.join d with _ -> ()) pool.workers

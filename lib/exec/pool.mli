@@ -42,3 +42,46 @@ val map :
 
 (** The worker count [map] uses when [?jobs] is omitted. *)
 val default_jobs : unit -> int
+
+(** {1 Persistent task pool}
+
+    [map] spawns domains per call, which is right for batch fan-outs
+    but wrong for a long-running service: the serve daemon
+    ({!Bw_serve.Server}) keeps one pool alive for its whole lifetime
+    and feeds it one task per request.  Worker domains block on a
+    condition variable when idle (no spinning), tasks run in FIFO
+    order, and completion is delivered through a future the submitter
+    awaits — from any domain {e or} systhread, which is how the
+    daemon's per-connection threads hand work to compute domains. *)
+
+type t
+
+(** A handle to a submitted task's eventual result. *)
+type 'a future
+
+(** [create ?jobs ()] spawns [jobs] worker domains (default
+    [default_jobs () - 1], at least 1 — the submitting thread is
+    typically doing I/O, not compute). *)
+val create : ?jobs:int -> unit -> t
+
+(** Worker domains of this pool. *)
+val jobs : t -> int
+
+(** Enqueue [f]; it runs on the first free worker.  An exception from
+    [f] is captured into the future, never kills the worker.
+    @raise Invalid_argument after {!shutdown}. *)
+val submit : t -> (unit -> 'a) -> 'a future
+
+(** Block until the task finishes; safe from any domain or thread, and
+    from several waiters at once. *)
+val await : 'a future -> ('a, exn) result
+
+(** {!await}, re-raising the task's exception. *)
+val await_exn : 'a future -> 'a
+
+(** [run pool f] = [await_exn (submit pool f)]. *)
+val run : t -> (unit -> 'a) -> 'a
+
+(** Drain: workers finish every already-queued task, then exit; joins
+    them all.  Further {!submit}s raise. *)
+val shutdown : t -> unit

@@ -1,0 +1,177 @@
+(* Canonical content digest of an IR program.  See digest.mli. *)
+
+(* The serialisation is type-directed and unambiguous: every
+   constructor writes a distinct tag byte, every string and list is
+   length-prefixed, and floats are written as their IEEE-754 bits (with
+   -0.0 canonicalised to +0.0 so that [equal_program] — which uses
+   float [=] — can never distinguish two programs this digest
+   separates).  Nothing here depends on pretty-printer output, so the
+   digest is stable across pretty/parse round trips by construction:
+   the round trip yields an [equal_program] AST (a generator invariant
+   the test suite enforces) and structurally equal ASTs serialise to
+   identical bytes. *)
+
+open Ast
+
+let add_tag buf c = Buffer.add_char buf c
+
+let add_int buf i =
+  Buffer.add_char buf 'i';
+  Buffer.add_int64_le buf (Int64.of_int i)
+
+let add_float buf f =
+  (* +0.0 and -0.0 are [=]-equal but differ in bits; canonicalise. *)
+  let f = if f = 0.0 then 0.0 else f in
+  Buffer.add_char buf 'f';
+  Buffer.add_int64_le buf (Int64.bits_of_float f)
+
+let add_string buf s =
+  Buffer.add_char buf 's';
+  add_int buf (String.length s);
+  Buffer.add_string buf s
+
+let add_list buf add items =
+  Buffer.add_char buf 'L';
+  add_int buf (List.length items);
+  List.iter (add buf) items
+
+let add_dtype buf = function
+  | F64 -> add_tag buf 'F'
+  | I64 -> add_tag buf 'I'
+
+let add_binop buf op =
+  add_tag buf
+    (match op with
+    | Add -> '+'
+    | Sub -> '-'
+    | Mul -> '*'
+    | Div -> '/'
+    | Mod -> '%'
+    | Min -> 'm'
+    | Max -> 'M')
+
+let add_unop buf op =
+  add_tag buf
+    (match op with Neg -> 'n' | Abs -> 'a' | Sqrt -> 'q' | Int_to_float -> 't')
+
+let add_cmpop buf op =
+  add_tag buf
+    (match op with
+    | Eq -> '=' | Ne -> '!' | Lt -> '<' | Le -> 'l' | Gt -> '>' | Ge -> 'g')
+
+let rec add_expr buf = function
+  | Int_lit i ->
+    add_tag buf '0';
+    add_int buf i
+  | Float_lit f ->
+    add_tag buf '1';
+    add_float buf f
+  | Scalar s ->
+    add_tag buf '2';
+    add_string buf s
+  | Element (a, idx) ->
+    add_tag buf '3';
+    add_string buf a;
+    add_list buf add_expr idx
+  | Unary (op, e) ->
+    add_tag buf '4';
+    add_unop buf op;
+    add_expr buf e
+  | Binary (op, a, b) ->
+    add_tag buf '5';
+    add_binop buf op;
+    add_expr buf a;
+    add_expr buf b
+  | Call (f, args) ->
+    add_tag buf '6';
+    add_string buf f;
+    add_list buf add_expr args
+
+let rec add_cond buf = function
+  | Cmp (op, a, b) ->
+    add_tag buf 'C';
+    add_cmpop buf op;
+    add_expr buf a;
+    add_expr buf b
+  | And (a, b) ->
+    add_tag buf '&';
+    add_cond buf a;
+    add_cond buf b
+  | Or (a, b) ->
+    add_tag buf '|';
+    add_cond buf a;
+    add_cond buf b
+  | Not c ->
+    add_tag buf '~';
+    add_cond buf c
+
+let add_lvalue buf = function
+  | Lscalar s ->
+    add_tag buf 'v';
+    add_string buf s
+  | Lelement (a, idx) ->
+    add_tag buf 'e';
+    add_string buf a;
+    add_list buf add_expr idx
+
+let rec add_stmt buf = function
+  | Assign (lv, e) ->
+    add_tag buf 'A';
+    add_lvalue buf lv;
+    add_expr buf e
+  | If (c, t, e) ->
+    add_tag buf 'G';
+    add_cond buf c;
+    add_list buf add_stmt t;
+    add_list buf add_stmt e
+  | For l ->
+    add_tag buf 'D';
+    add_string buf l.index;
+    add_expr buf l.lo;
+    add_expr buf l.hi;
+    add_expr buf l.step;
+    add_list buf add_stmt l.body
+  | Read_input lv ->
+    add_tag buf 'R';
+    add_lvalue buf lv
+  | Print e ->
+    add_tag buf 'P';
+    add_expr buf e
+
+let rec add_init buf = function
+  | Init_zero -> add_tag buf 'Z'
+  | Init_linear (a, b) ->
+    add_tag buf 'N';
+    add_float buf a;
+    add_float buf b
+  | Init_hash seed ->
+    add_tag buf 'H';
+    add_int buf seed
+  | Init_lanes (inner, l) ->
+    add_tag buf 'W';
+    add_init buf inner;
+    add_int buf l
+
+let add_decl buf d =
+  add_tag buf 'd';
+  add_string buf d.var_name;
+  add_dtype buf d.dtype;
+  add_list buf add_int d.dims;
+  add_init buf d.init
+
+let add_program buf p =
+  add_tag buf 'p';
+  add_string buf p.prog_name;
+  add_list buf add_decl p.decls;
+  add_list buf add_stmt p.body;
+  add_list buf add_string p.live_out
+
+let program p =
+  let buf = Buffer.create 1024 in
+  add_program buf p;
+  Stdlib.Digest.to_hex (Stdlib.Digest.string (Buffer.contents buf))
+
+let body_only p =
+  let buf = Buffer.create 1024 in
+  add_list buf add_stmt p.body;
+  Stdlib.Digest.to_hex (Stdlib.Digest.string (Buffer.contents buf))

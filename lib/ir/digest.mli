@@ -1,0 +1,21 @@
+(** Canonical content digest of an IR program — the cache-key primitive
+    of the [bwc serve] result cache.
+
+    [program p] is a 32-character hex MD5 of a type-directed, tagged,
+    length-prefixed serialisation of the whole AST (name, declarations
+    with dtypes/extents/initialisers, body, live-out set).  Two
+    programs that are [Ast.equal_program] always digest identically —
+    floats are hashed by their IEEE bits with [-0.0] canonicalised to
+    [+0.0], so the digest never separates values float [=] equates —
+    and the digest is stable across a pretty-print/re-parse round trip
+    (which produces an [equal_program] AST).  It does {e not} depend on
+    the pretty-printer's concrete syntax: whitespace or formatting
+    changes cannot shift cache keys. *)
+
+val program : Ast.program -> string
+
+(** Digest of the statement body alone (no name, declarations or
+    live-out): useful for spotting structurally identical computations
+    declared under different names.  Not a cache key — two programs
+    with equal bodies but different initialisers behave differently. *)
+val body_only : Ast.program -> string

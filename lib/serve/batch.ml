@@ -1,0 +1,163 @@
+(* Cross-request batching of simulate work onto Run.replay_many.
+
+   Concurrent simulate requests that share a capture (same program
+   digest × engine) but ask for different machines are grouped: the
+   first arrival becomes the group's leader, obtains the capture once,
+   and repeatedly drains whatever requests have queued behind it,
+   fanning the union of their machine lists out through one
+   Run.replay_many call per drained batch.  Followers block until the
+   leader distributes their per-machine results.  Under load this turns
+   N concurrent requests into one engine run and ceil-fewer replay
+   fan-outs; when idle it degenerates to exactly the work a lone
+   request would have done. *)
+
+type waiter = {
+  wm : Mutex.t;
+  wc : Condition.t;
+  machines : Bw_machine.Machine.t list;
+  mutable outcome : outcome;
+}
+
+and outcome =
+  | Waiting
+  | Served of Bw_exec.Run.result list  (* in [machines] order *)
+  | Failed of exn
+
+type group = { mutable leader : bool; mutable pending : waiter list }
+
+type t = {
+  m : Mutex.t;
+  groups : (string, group) Hashtbl.t;
+  jobs : int option;  (* worker cap handed to Run.replay_many *)
+}
+
+let create ?jobs () = { m = Mutex.create (); groups = Hashtbl.create 8; jobs }
+
+let requests_c = Bw_obs.Metrics.counter "serve.batch.requests"
+let replays_c = Bw_obs.Metrics.counter "serve.batch.replays"
+let grouped_c = Bw_obs.Metrics.counter "serve.batch.grouped"
+
+let settle w outcome =
+  Mutex.lock w.wm;
+  w.outcome <- outcome;
+  Condition.broadcast w.wc;
+  Mutex.unlock w.wm
+
+let await w =
+  Mutex.lock w.wm;
+  let pending () = match w.outcome with Waiting -> true | _ -> false in
+  while pending () do
+    Condition.wait w.wc w.wm
+  done;
+  let o = w.outcome in
+  Mutex.unlock w.wm;
+  match o with
+  | Served results -> results
+  | Failed e -> raise e
+  | Waiting -> assert false
+
+(* Union of the batch's machine lists, deduplicated by machine name,
+   first-arrival order preserved (deterministic given arrival order). *)
+let union_machines batch =
+  let seen = Hashtbl.create 8 in
+  List.concat_map
+    (fun w ->
+      List.filter
+        (fun (m : Bw_machine.Machine.t) ->
+          if Hashtbl.mem seen m.Bw_machine.Machine.name then false
+          else begin
+            Hashtbl.add seen m.Bw_machine.Machine.name ();
+            true
+          end)
+        w.machines)
+    batch
+
+let drain t key g =
+  Mutex.lock t.m;
+  let batch = List.rev g.pending in
+  g.pending <- [];
+  if batch = [] then begin
+    g.leader <- false;
+    Hashtbl.remove t.groups key;
+    Mutex.unlock t.m;
+    None
+  end
+  else begin
+    Mutex.unlock t.m;
+    Some batch
+  end
+
+let fail_all t key g e =
+  let rec go () =
+    match drain t key g with
+    | None -> ()
+    | Some batch ->
+      List.iter (fun w -> settle w (Failed e)) batch;
+      go ()
+  in
+  go ()
+
+let serve_batches t key g capture =
+  let rec go () =
+    match drain t key g with
+    | None -> ()
+    | Some batch -> (
+      let machines = union_machines batch in
+      match Bw_exec.Run.replay_many ?jobs:t.jobs ~machines capture with
+      | results ->
+        Bw_obs.Metrics.incr replays_c;
+        if List.length batch > 1 then
+          Bw_obs.Metrics.incr ~by:(List.length batch - 1) grouped_c;
+        let by_name =
+          List.map2
+            (fun (m : Bw_machine.Machine.t) r ->
+              (m.Bw_machine.Machine.name, r))
+            machines results
+        in
+        List.iter
+          (fun w ->
+            settle w
+              (Served
+                 (List.map
+                    (fun (m : Bw_machine.Machine.t) ->
+                      List.assoc m.Bw_machine.Machine.name by_name)
+                    w.machines)))
+          batch;
+        go ()
+      | exception e ->
+        List.iter (fun w -> settle w (Failed e)) batch;
+        go ())
+  in
+  go ()
+
+let simulate t ~key ~capture machines =
+  Bw_obs.Metrics.incr requests_c;
+  let w =
+    { wm = Mutex.create ();
+      wc = Condition.create ();
+      machines;
+      outcome = Waiting }
+  in
+  Mutex.lock t.m;
+  let g =
+    match Hashtbl.find_opt t.groups key with
+    | Some g -> g
+    | None ->
+      let g = { leader = false; pending = [] } in
+      Hashtbl.add t.groups key g;
+      g
+  in
+  g.pending <- w :: g.pending;
+  if g.leader then begin
+    (* somebody is already replaying this capture; ride along *)
+    Mutex.unlock t.m;
+    await w
+  end
+  else begin
+    g.leader <- true;
+    Mutex.unlock t.m;
+    (match capture () with
+    | c -> serve_batches t key g c
+    | exception e -> fail_all t key g e);
+    await w
+  end

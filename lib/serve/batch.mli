@@ -1,0 +1,31 @@
+(** Cross-request batching of simulate work onto
+    {!Bw_exec.Run.replay_many}.
+
+    Concurrent simulate requests sharing a capture key (program digest
+    × engine — {!Protocol.capture_key}) are grouped: the first arrival
+    leads, obtains the capture once (the thunk normally goes through
+    the server's capture cache), and drains queued requests in waves,
+    replaying the union of their machine lists with one
+    [Run.replay_many] fan-out per wave.  Followers block until their
+    results are distributed.  An idle-time request does exactly the
+    work it would have done alone.
+
+    Counted in {!Bw_obs.Metrics}: [serve.batch.requests] (calls),
+    [serve.batch.replays] (fan-outs executed), [serve.batch.grouped]
+    (requests served by another request's fan-out). *)
+
+type t
+
+(** [jobs] caps the domains each [replay_many] fan-out spawns. *)
+val create : ?jobs:int -> unit -> t
+
+(** [simulate t ~key ~capture machines] returns per-machine results in
+    [machines] order.  [capture] runs at most once per concurrent
+    group.  Exceptions from the capture or replay propagate to every
+    request they affect. *)
+val simulate :
+  t ->
+  key:string ->
+  capture:(unit -> Bw_exec.Run.capture) ->
+  Bw_machine.Machine.t list ->
+  Bw_exec.Run.result list

@@ -1,0 +1,93 @@
+(* Minimal blocking client for the bwc serve wire protocol: one
+   newline-delimited JSON request per line, one response line back. *)
+
+module Json = Bw_core.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect (addr : Server.addr) =
+  let fd, sockaddr =
+    match addr with
+    | Server.Unix_sock path ->
+      (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | Server.Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found ->
+            failwith (Printf.sprintf "unknown host '%s'" host))
+      in
+      (Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0,
+       Unix.ADDR_INET (inet, port))
+  in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  { fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd }
+
+let close t = try Unix.close t.fd with _ -> ()
+
+let send_line t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv_line t =
+  match input_line t.ic with
+  | line -> Ok line
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error msg -> Error msg
+
+let request_raw t line =
+  send_line t line;
+  match recv_line t with
+  | Error _ as e -> e
+  | Ok reply -> (
+    match Json.parse reply with
+    | j -> Ok j
+    | exception Json.Parse_error msg ->
+      Error (Printf.sprintf "malformed response: %s" msg))
+
+let request t req = request_raw t (Json.to_string (Protocol.json_of_request req))
+
+let one_shot addr req =
+  let t = connect addr in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> request t req)
+
+(* Scrape the /metrics endpoint: raw GET line, then read the HTTP
+   response until EOF (the server closes after a scrape) and strip the
+   header block. *)
+let fetch_metrics addr =
+  let t = connect addr in
+  Fun.protect
+    ~finally:(fun () -> close t)
+    (fun () ->
+      send_line t "GET /metrics HTTP/1.0";
+      let buf = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_channel buf t.ic 1
+         done
+       with End_of_file -> ());
+      let raw = Buffer.contents buf in
+      (* locate the blank line separating HTTP headers from the body *)
+      let find_sub sep =
+        let n = String.length sep and len = String.length raw in
+        let rec go i =
+          if i + n > len then None
+          else if String.sub raw i n = sep then Some (i + n)
+          else go (i + 1)
+        in
+        go 0
+      in
+      match
+        match find_sub "\r\n\r\n" with
+        | Some i -> Some i
+        | None -> find_sub "\n\n"
+      with
+      | Some i -> Ok (String.sub raw i (String.length raw - i))
+      | None -> Error "no HTTP header/body separator in metrics response")

@@ -1,0 +1,26 @@
+(** Blocking client for the [bwc serve] wire protocol — one JSON
+    request per line, one JSON response line back.  Used by
+    [bwc client], the load generator, and the tests. *)
+
+type t
+
+(** Connect to a running server.  Raises [Unix.Unix_error] (or
+    [Failure] for an unresolvable host) on failure. *)
+val connect : Server.addr -> t
+
+val close : t -> unit
+
+(** Send an already-encoded request line and parse the response line.
+    Errors are transport/parse-level only — a server-side failure comes
+    back as an [Ok] response with ["status": "error"]. *)
+val request_raw : t -> string -> (Bw_core.Json.t, string) result
+
+(** Encode and send a {!Protocol.request}. *)
+val request : t -> Protocol.request -> (Bw_core.Json.t, string) result
+
+(** Connect, send one request, read the response, close. *)
+val one_shot : Server.addr -> Protocol.request -> (Bw_core.Json.t, string) result
+
+(** Scrape the [/metrics] endpoint over a fresh connection and return
+    the exposition body (HTTP headers stripped). *)
+val fetch_metrics : Server.addr -> (string, string) result

@@ -1,0 +1,9 @@
+(** Plain-text exposition of {!Bw_obs.Metrics} for the [/metrics]
+    endpoint: Prometheus line format — names with ['.'] mapped to
+    ['_'], ["name value"] per counter/gauge, histograms flattened to
+    [_count]/[_sum] and cumulative [_bucket{le="..."}] lines. *)
+
+val render : unit -> string
+
+(** Map a metric name to its exposition spelling ([.] → [_]). *)
+val sanitize : string -> string

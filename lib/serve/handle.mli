@@ -1,0 +1,50 @@
+(** Pure compute behind each serve op: request in, JSON result payload
+    out.  No sockets, no caching, no pool — {!Server} supplies those;
+    tests call these directly.
+
+    Every function is deterministic in its arguments (the property the
+    result cache relies on) and safe to run concurrently with itself on
+    other domains. *)
+
+module Json = Bw_core.Json
+
+val analyze :
+  Protocol.request ->
+  machines:Bw_machine.Machine.t list ->
+  Bw_ir.Ast.program ->
+  Json.t
+
+val predict :
+  Protocol.request ->
+  machines:Bw_machine.Machine.t list ->
+  Bw_ir.Ast.program ->
+  Json.t
+
+(** Runs the guarded pipeline under the request's [pipeline] config and
+    simulates before/after on the {e first} requested machine. *)
+val optimize :
+  Protocol.request ->
+  machines:Bw_machine.Machine.t list ->
+  Bw_ir.Ast.program ->
+  Json.t
+
+(** [replay] maps the machine list to per-machine results; the server
+    passes its capture-sharing batcher here.  Without it, a private
+    capture is taken and replayed. *)
+val simulate :
+  ?replay:(Bw_machine.Machine.t list -> Bw_exec.Run.result list) ->
+  Protocol.request ->
+  machines:Bw_machine.Machine.t list ->
+  Bw_ir.Ast.program ->
+  Json.t
+
+val fuzz : Protocol.request -> Json.t
+
+(** Dispatch on the request's op.  Ping/Metrics/Shutdown are server-loop
+    concerns and raise [Invalid_argument] here. *)
+val compute :
+  ?replay:(Bw_machine.Machine.t list -> Bw_exec.Run.result list) ->
+  Protocol.request ->
+  machines:Bw_machine.Machine.t list ->
+  Bw_ir.Ast.program option ->
+  Json.t

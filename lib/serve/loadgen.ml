@@ -1,0 +1,162 @@
+(* Load generator for the serve bench and the CI smoke: N client
+   domains hammer a running server with a seeded mixed request stream
+   and we report latency percentiles, throughput, error count, and the
+   observed cache hit rate. *)
+
+module Json = Bw_core.Json
+
+type spec = {
+  addr : Server.addr;
+  clients : int;
+  requests : int;
+  seed : int;
+  scale : int;
+}
+
+let default_spec addr =
+  { addr; clients = 2; requests = 1000; seed = 42; scale = 1 }
+
+type stats = {
+  requests : int;
+  clients : int;
+  errors : int;
+  cached : int;
+  hit_rate : float;
+  wall_seconds : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+(* One sample per completed request. *)
+type sample = { latency_ms : float; was_cached : bool; ok : bool }
+
+(* The mixed stream draws from a deliberately bounded universe of
+   request shapes so that a warmed-up run exercises the result cache:
+   a handful of registry programs × machine subsets × ops. *)
+let programs = [| "read_loop"; "write_loop"; "convolution"; "fig7" |]
+
+let machine_sets =
+  [| [ "origin2000" ];
+     [ "exemplar" ];
+     [ "origin2000"; "exemplar" ];
+     [ "unconstrained" ] |]
+
+let pick rng a = a.(Random.State.int rng (Array.length a))
+
+let random_request rng ~scale =
+  let program = Some (pick rng programs) in
+  let machines = pick rng machine_sets in
+  (* weighted op mix: mostly analyze/predict/simulate, some optimize,
+     a sprinkle of fuzz and ping *)
+  match Random.State.int rng 100 with
+  | n when n < 30 ->
+    { (Protocol.default_request Protocol.Analyze) with program; machines; scale }
+  | n when n < 60 ->
+    let budget =
+      pick rng [| `Analytic; `Reuse; `Exact |]
+    in
+    { (Protocol.default_request Protocol.Predict) with
+      program; machines; scale; budget }
+  | n when n < 85 ->
+    { (Protocol.default_request Protocol.Simulate) with program; machines; scale }
+  | n when n < 93 ->
+    { (Protocol.default_request Protocol.Optimize) with
+      program; machines = [ List.hd machines ]; scale }
+  | n when n < 97 ->
+    { (Protocol.default_request Protocol.Fuzz) with
+      seed = Random.State.int rng 4; count = 2; size = 3 }
+  | _ -> Protocol.default_request Protocol.Ping
+
+let client_run (spec : spec) ~client_id ~count =
+  let rng = Random.State.make [| spec.seed; client_id |] in
+  let client = Client.connect spec.addr in
+  let samples = Array.make count { latency_ms = 0.; was_cached = false; ok = false } in
+  Fun.protect
+    ~finally:(fun () -> Client.close client)
+    (fun () ->
+      for i = 0 to count - 1 do
+        let req = random_request rng ~scale:spec.scale in
+        let t0 = Unix.gettimeofday () in
+        let reply = Client.request client req in
+        let latency_ms = 1e3 *. (Unix.gettimeofday () -. t0) in
+        let was_cached, ok =
+          match reply with
+          | Ok j -> (
+            ( Protocol.response_cached j,
+              match Protocol.response_result j with
+              | Ok _ -> true
+              | Error _ ->
+                (* fuzz counterexamples etc. are still valid replies;
+                   only transport or envelope errors count as failures *)
+                false ))
+          | Error _ -> (false, false)
+        in
+        samples.(i) <- { latency_ms; was_cached; ok }
+      done;
+      samples)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let idx = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let run (spec : spec) =
+  if spec.clients < 1 then invalid_arg "Loadgen.run: clients < 1";
+  if spec.requests < 1 then invalid_arg "Loadgen.run: requests < 1";
+  let per_client = spec.requests / spec.clients in
+  let counts =
+    (* distribute the remainder over the first few clients *)
+    Array.init spec.clients (fun i ->
+        per_client + if i < spec.requests mod spec.clients then 1 else 0)
+  in
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    Array.mapi
+      (fun i count ->
+        Domain.spawn (fun () -> client_run spec ~client_id:i ~count))
+      counts
+  in
+  let samples = Array.concat (Array.to_list (Array.map Domain.join domains)) in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let latencies =
+    Array.map (fun s -> s.latency_ms) (Array.copy samples)
+  in
+  Array.sort compare latencies;
+  let errors =
+    Array.fold_left (fun acc s -> if s.ok then acc else acc + 1) 0 samples
+  in
+  let cached =
+    Array.fold_left (fun acc s -> if s.was_cached then acc + 1 else acc) 0 samples
+  in
+  let n = Array.length samples in
+  { requests = n;
+    clients = spec.clients;
+    errors;
+    cached;
+    hit_rate = (if n = 0 then 0. else float_of_int cached /. float_of_int n);
+    wall_seconds;
+    throughput_rps =
+      (if wall_seconds > 0. then float_of_int n /. wall_seconds else 0.);
+    p50_ms = percentile latencies 50.;
+    p90_ms = percentile latencies 90.;
+    p99_ms = percentile latencies 99.;
+    max_ms = (if n = 0 then 0. else latencies.(n - 1)) }
+
+let json_of_stats s =
+  Json.Obj
+    [ ("requests", Json.Int s.requests);
+      ("clients", Json.Int s.clients);
+      ("errors", Json.Int s.errors);
+      ("cached", Json.Int s.cached);
+      ("hit_rate", Json.Float s.hit_rate);
+      ("wall_seconds", Json.Float s.wall_seconds);
+      ("throughput_rps", Json.Float s.throughput_rps);
+      ("p50_ms", Json.Float s.p50_ms);
+      ("p90_ms", Json.Float s.p90_ms);
+      ("p99_ms", Json.Float s.p99_ms);
+      ("max_ms", Json.Float s.max_ms) ]

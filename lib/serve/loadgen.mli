@@ -1,0 +1,34 @@
+(** Load generator: client domains driving a seeded mixed request
+    stream against a running server, reporting latency percentiles,
+    throughput, and the observed cache hit rate.  Backs the serve
+    bench ([bench/main.ml --serve]) and [bwc client --load]. *)
+
+type spec = {
+  addr : Server.addr;
+  clients : int;  (** client domains, each with its own connection *)
+  requests : int;  (** total across all clients *)
+  seed : int;  (** stream seed — same seed, same request stream *)
+  scale : int;  (** workload scale passed in each request *)
+}
+
+(** 2 clients, 1000 requests, seed 42, scale 1. *)
+val default_spec : Server.addr -> spec
+
+type stats = {
+  requests : int;
+  clients : int;
+  errors : int;  (** transport failures or error-status responses *)
+  cached : int;  (** responses answered from the result cache *)
+  hit_rate : float;
+  wall_seconds : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+(** Run the load; blocks until every client finishes. *)
+val run : spec -> stats
+
+val json_of_stats : stats -> Bw_core.Json.t

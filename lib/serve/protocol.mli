@@ -1,0 +1,115 @@
+(** The [bwc serve] wire protocol: versioned request/response JSON.
+
+    {2 Framing}
+
+    One JSON document per line, newline-terminated, in both directions
+    ("JSON lines").  A connection carries any number of requests,
+    answered in order.  As a convenience for scraping, a raw line
+    beginning with [GET /metrics] is answered with a minimal HTTP
+    response carrying the plain-text metrics exposition and closes the
+    connection — [curl http://host:port/metrics] works against a TCP
+    server.
+
+    {2 Envelope}
+
+    Requests carry [{"v":1,"op":...,...}]; the version defaults to the
+    current one and a mismatched version is rejected.  Responses are
+    [{"v":1,"id":...,"op":...,"status":"ok","cached":bool,"result":...}]
+    or [{"v":1,"id":...,"status":"error","error":"one-line message"}].
+    A malformed or invalid request produces an error {e response} — it
+    never terminates the connection, let alone the daemon.
+
+    {2 Caching}
+
+    {!cache_key} names the answer, not the request text: the program
+    part is the canonical {!Bw_ir.Digest}, and every answer-affecting
+    knob (op, machine list, engine, budget, pipeline configuration,
+    fuzz parameters) is spelled into the key.  Ops without deterministic
+    answers ([ping], [metrics], [shutdown]) have no key. *)
+
+module Json = Bw_core.Json
+
+val version : int
+
+type op =
+  | Ping  (** liveness + server info *)
+  | Metrics  (** plain-text metrics exposition *)
+  | Analyze  (** simulate on each machine: balance, counters, timing *)
+  | Predict  (** tiered evaluation at the requested budget *)
+  | Optimize  (** guarded pipeline + before/after simulation *)
+  | Simulate  (** capture once, replay per machine (batched server-side) *)
+  | Fuzz  (** differential fuzzing over seeded programs *)
+  | Shutdown  (** begin graceful drain *)
+
+val op_name : op -> string
+val op_of_name : string -> op option
+
+(** Guard configuration of an [optimize] request. *)
+type pipeline = { validate : int; lint : bool; fuel : int option }
+
+val default_pipeline : pipeline
+
+type request = {
+  id : string option;  (** client correlation id, echoed in the response *)
+  op : op;
+  program : string option;  (** registry name or [.bw] path (server-side) *)
+  source : string option;  (** inline [.bw] source, alternative to [program] *)
+  scale : int;  (** 1..3, as everywhere else *)
+  machines : string list;
+  engine : [ `Compiled | `Interpreted ];
+  budget : [ `Analytic | `Reuse | `Exact ];  (** predict tier *)
+  pipeline : pipeline;
+  seed : int;  (** fuzz *)
+  count : int;  (** fuzz *)
+  size : int;  (** fuzz *)
+  no_cache : bool;  (** bypass the result cache for this request *)
+}
+
+val default_request : op -> request
+
+(** Decode; every failure is a one-line [Error] in the
+    {!Bw_core.Loader} style. *)
+val request_of_json : Json.t -> (request, string) result
+
+(** {!Json.parse} + {!request_of_json}; malformed JSON is an [Error]. *)
+val request_of_string : string -> (request, string) result
+
+val json_of_request : request -> Json.t
+
+val ok_response : ?id:string -> op:op -> cached:bool -> Json.t -> Json.t
+val error_response : ?id:string -> string -> Json.t
+
+(** Client-side: extract the result payload or the error message. *)
+val response_result : Json.t -> (Json.t, string) result
+
+(** Whether the server answered from its result cache. *)
+val response_cached : Json.t -> bool
+
+(** {2 Machines} *)
+
+val machines_table : (string * Bw_machine.Machine.t) list
+val machine_names : string list
+val machine : string -> (Bw_machine.Machine.t, string) result
+val resolve_machines : request -> (Bw_machine.Machine.t list, string) result
+
+(** {2 Engines, budgets} *)
+
+val engine_of_name : string -> ([ `Compiled | `Interpreted ], string) result
+val engine_name : [ `Compiled | `Interpreted ] -> string
+val budget_of_name : string -> ([ `Analytic | `Reuse | `Exact ], string) result
+val budget_name : [ `Analytic | `Reuse | `Exact ] -> string
+val evaluate_budget : [ `Analytic | `Reuse | `Exact ] -> Bw_exec.Evaluate.budget
+
+(** {2 Cache keys and program loading} *)
+
+(** [None] for ops whose answers are not cacheable. *)
+val cache_key : request -> program:Bw_ir.Ast.program option -> string option
+
+(** Key of the machine-independent capture shared by simulate requests. *)
+val capture_key : request -> program:Bw_ir.Ast.program -> string
+
+val needs_program : request -> bool
+
+(** Resolve [program]/[source] to an IR program ({!Bw_core.Loader} for
+    names, the parser for inline source); one-line [Error]s. *)
+val load_program : request -> (Bw_ir.Ast.program, string) result

@@ -1,0 +1,340 @@
+(* The bwc serve daemon: accept loop, per-connection threads, compute
+   on the persistent domain pool, content-addressed result cache,
+   capture-sharing simulate batcher, graceful drain.  See server.mli. *)
+
+module Json = Bw_core.Json
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let pp_addr ppf = function
+  | Unix_sock path -> Format.fprintf ppf "unix:%s" path
+  | Tcp (host, port) -> Format.fprintf ppf "tcp:%s:%d" host port
+
+type config = {
+  addr : addr;
+  jobs : int option;
+  cache_capacity : int;
+  capture_capacity : int;
+  verbose : bool;
+}
+
+let default_config addr =
+  { addr; jobs = None; cache_capacity = 512; capture_capacity = 32;
+    verbose = false }
+
+type conn = { fd : Unix.file_descr; mutable busy : bool; conn_id : int }
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  actual_addr : addr;
+  pool : Bw_exec.Pool.t;
+  results : Json.t Cache.t;
+  captures : Bw_exec.Run.capture Cache.t;
+  batcher : Batch.t;
+  drain_requested : bool Atomic.t;
+  stopping : bool Atomic.t;
+  cm : Mutex.t;
+  cc : Condition.t;
+  conns : (int, conn) Hashtbl.t;
+  mutable next_conn : int;
+  mutable accept_thread : Thread.t option;
+  started_at : float;
+}
+
+(* --- metrics ---------------------------------------------------------------- *)
+
+let requests_c = Bw_obs.Metrics.counter "serve.requests"
+let errors_c = Bw_obs.Metrics.counter "serve.errors"
+let connections_c = Bw_obs.Metrics.counter "serve.connections"
+let latency_h = Bw_obs.Metrics.histogram "serve.latency_ms"
+let inflight_g = Bw_obs.Metrics.gauge "serve.inflight"
+let cache_size_g = Bw_obs.Metrics.gauge "serve.cache.size"
+
+(* --- request processing ----------------------------------------------------- *)
+
+let uptime t = Unix.gettimeofday () -. t.started_at
+
+let ping_payload t =
+  let stats = Cache.stats t.results in
+  Json.Obj
+    [ ("pong", Json.Bool true);
+      ("version", Json.Int Protocol.version);
+      ("pid", Json.Int (Unix.getpid ()));
+      ("uptime_seconds", Json.Float (uptime t));
+      ("pool_jobs", Json.Int (Bw_exec.Pool.jobs t.pool));
+      ( "cache",
+        Json.Obj
+          [ ("size", Json.Int stats.Cache.size);
+            ("capacity", Json.Int stats.Cache.capacity);
+            ("hits", Json.Int stats.Cache.hits);
+            ("misses", Json.Int stats.Cache.misses);
+            ("evictions", Json.Int stats.Cache.evictions);
+            ("single_flight_joins", Json.Int stats.Cache.single_flight_joins)
+          ] ) ]
+
+(* Capture the program once per (digest, engine), shared across
+   requests through the capture cache and the batcher. *)
+let replay_fn t req program machines =
+  let ckey = Protocol.capture_key req ~program in
+  Batch.simulate t.batcher ~key:ckey
+    ~capture:(fun () ->
+      fst
+        (Cache.find_or_compute t.captures ~key:ckey (fun () ->
+             Bw_exec.Run.capture ~engine:req.Protocol.engine program)))
+    machines
+
+(* One-line error message from an arbitrary handler exception. *)
+let one_line e =
+  let s = Printexc.to_string e in
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let compute_op t (req : Protocol.request) =
+  match
+    if Protocol.needs_program req then
+      Result.map Option.some (Protocol.load_program req)
+    else Ok None
+  with
+  | Error msg -> Protocol.error_response ?id:req.Protocol.id msg
+  | Ok program -> (
+    match Protocol.resolve_machines req with
+    | Error msg -> Protocol.error_response ?id:req.Protocol.id msg
+    | Ok machines -> (
+      let work () =
+        Bw_exec.Pool.run t.pool (fun () ->
+            let replay =
+              match program with
+              | Some p when req.Protocol.op = Protocol.Simulate ->
+                Some (replay_fn t req p)
+              | _ -> None
+            in
+            Handle.compute ?replay req ~machines program)
+      in
+      match
+        match Protocol.cache_key req ~program with
+        | Some key when not req.Protocol.no_cache ->
+          let payload, how = Cache.find_or_compute t.results ~key work in
+          (payload, how <> `Miss)
+        | _ -> (work (), false)
+      with
+      | payload, cached ->
+        Bw_obs.Metrics.set cache_size_g
+          (float_of_int (Cache.stats t.results).Cache.size);
+        Protocol.ok_response ?id:req.Protocol.id ~op:req.Protocol.op ~cached
+          payload
+      | exception e ->
+        Protocol.error_response ?id:req.Protocol.id (one_line e)))
+
+let initiate_shutdown t =
+  if Atomic.compare_and_set t.stopping false true then begin
+    if t.config.verbose then Format.eprintf "bwc serve: draining...@.";
+    (* Idle connections are parked in input_line; shut their read side
+       down so they see EOF.  Busy ones finish their current request
+       and notice the flag afterwards. *)
+    Mutex.lock t.cm;
+    Hashtbl.iter
+      (fun _ c ->
+        if not c.busy then
+          try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+      t.conns;
+    Mutex.unlock t.cm
+  end
+
+let request_shutdown t = Atomic.set t.drain_requested true
+
+(* Process one request line; returns the response string (without
+   newline) and whether to keep the connection. *)
+let respond_to_line t line =
+  let json_reply j = (Json.to_string j, `Keep) in
+  if String.length line >= 4 && String.sub line 0 4 = "GET " then
+    (* /metrics-style scrape: minimal HTTP, then close. *)
+    let body = Expose.render () in
+    ( Printf.sprintf
+        "HTTP/1.0 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: %d\r\n\r\n%s"
+        (String.length body) body,
+      `Close )
+  else
+    match Protocol.request_of_string line with
+    | Error msg ->
+      Bw_obs.Metrics.incr errors_c;
+      json_reply (Protocol.error_response msg)
+    | Ok req -> (
+      let id = req.Protocol.id in
+      let op = req.Protocol.op in
+      match op with
+      | Protocol.Ping ->
+        json_reply (Protocol.ok_response ?id ~op ~cached:false (ping_payload t))
+      | Protocol.Metrics ->
+        json_reply
+          (Protocol.ok_response ?id ~op ~cached:false
+             (Json.Obj [ ("text", Json.String (Expose.render ())) ]))
+      | Protocol.Shutdown ->
+        request_shutdown t;
+        json_reply
+          (Protocol.ok_response ?id ~op ~cached:false
+             (Json.Obj [ ("draining", Json.Bool true) ]))
+      | _ -> (
+        match compute_op t req with
+        | response ->
+          (match Json.member "status" response with
+          | Some (Json.String "error") -> Bw_obs.Metrics.incr errors_c
+          | _ -> ());
+          json_reply response
+        | exception e ->
+          (* belt and braces: compute_op already confines handler
+             exceptions; this catches protocol-layer surprises *)
+          Bw_obs.Metrics.incr errors_c;
+          json_reply (Protocol.error_response ?id (one_line e))))
+
+(* --- connection lifecycle ---------------------------------------------------- *)
+
+let unregister t conn =
+  Mutex.lock t.cm;
+  Hashtbl.remove t.conns conn.conn_id;
+  Condition.broadcast t.cc;
+  Mutex.unlock t.cm;
+  (try Unix.close conn.fd with _ -> ())
+
+let conn_loop t conn =
+  let ic = Unix.in_channel_of_descr conn.fd in
+  let oc = Unix.out_channel_of_descr conn.fd in
+  let rec go () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line when String.trim line = "" ->
+      if not (Atomic.get t.stopping) then go ()
+    | line -> (
+      conn.busy <- true;
+      Bw_obs.Metrics.incr requests_c;
+      Bw_obs.Metrics.set inflight_g 1.0;
+      let t0 = Unix.gettimeofday () in
+      let reply, action = respond_to_line t line in
+      let wrote =
+        match
+          output_string oc reply;
+          output_char oc '\n';
+          flush oc
+        with
+        | () -> true
+        | exception Sys_error _ -> false
+      in
+      Bw_obs.Metrics.observe latency_h
+        (1e3 *. (Unix.gettimeofday () -. t0));
+      conn.busy <- false;
+      match action with
+      | `Close -> ()
+      | `Keep -> if wrote && not (Atomic.get t.stopping) then go ())
+  in
+  (try go () with _ -> ());
+  unregister t conn
+
+let register_conn t fd =
+  Mutex.lock t.cm;
+  let conn = { fd; busy = false; conn_id = t.next_conn } in
+  t.next_conn <- t.next_conn + 1;
+  Hashtbl.add t.conns conn.conn_id conn;
+  Mutex.unlock t.cm;
+  Bw_obs.Metrics.incr connections_c;
+  ignore (Thread.create (fun () -> conn_loop t conn) ())
+
+let accept_loop t =
+  let rec go () =
+    if Atomic.get t.drain_requested then initiate_shutdown t;
+    if Atomic.get t.stopping then ()
+    else begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | [ _ ], _, _ -> (
+        match Unix.accept t.listen_fd with
+        | fd, _ -> register_conn t fd
+        | exception Unix.Unix_error _ -> ())
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ()
+    end
+  in
+  go ();
+  (try Unix.close t.listen_fd with _ -> ())
+
+(* --- lifecycle --------------------------------------------------------------- *)
+
+let bind_listen addr =
+  match addr with
+  | Unix_sock path ->
+    if Sys.file_exists path then Unix.unlink path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 128;
+    (fd, addr)
+  | Tcp (host, port) ->
+    let inet =
+      try Unix.inet_addr_of_string host
+      with _ -> (
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> failwith (Printf.sprintf "unknown host '%s'" host))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (inet, port));
+    Unix.listen fd 128;
+    let actual_port =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    (fd, Tcp (host, actual_port))
+
+let start config =
+  let listen_fd, actual_addr = bind_listen config.addr in
+  let t =
+    { config;
+      listen_fd;
+      actual_addr;
+      pool = Bw_exec.Pool.create ?jobs:config.jobs ();
+      results = Cache.create ~capacity:config.cache_capacity ();
+      captures =
+        Cache.create ~metric_prefix:"serve.capture_cache."
+          ~capacity:config.capture_capacity ();
+      batcher = Batch.create ();
+      drain_requested = Atomic.make false;
+      stopping = Atomic.make false;
+      cm = Mutex.create ();
+      cc = Condition.create ();
+      conns = Hashtbl.create 32;
+      next_conn = 0;
+      accept_thread = None;
+      started_at = Unix.gettimeofday () }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let addr t = t.actual_addr
+
+let wait t =
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (* drain: every connection thread unregisters itself when done *)
+  Mutex.lock t.cm;
+  while Hashtbl.length t.conns > 0 do
+    Condition.wait t.cc t.cm
+  done;
+  Mutex.unlock t.cm;
+  Bw_exec.Pool.shutdown t.pool;
+  match t.actual_addr with
+  | Unix_sock path -> ( try Unix.unlink path with _ -> ())
+  | Tcp _ -> ()
+
+let stop t =
+  request_shutdown t;
+  wait t
+
+(* SIGTERM/SIGINT only set a flag; the accept loop notices within its
+   select timeout and performs the actual drain outside any lock — a
+   handler that took mutexes could deadlock against the thread it
+   interrupted. *)
+let install_signal_handlers t =
+  let handler = Sys.Signal_handle (fun _ -> request_shutdown t) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler

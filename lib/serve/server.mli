@@ -1,0 +1,63 @@
+(** The [bwc serve] daemon.
+
+    A long-running service answering newline-delimited JSON requests
+    ({!Protocol}) over a Unix or TCP socket.  Per-connection system
+    threads do the blocking I/O; handler compute runs on a persistent
+    work-stealing domain pool ({!Bw_exec.Pool}).  Cacheable responses
+    are memoised in a content-addressed result cache keyed on IR digest
+    × machine set × pipeline config ({!Protocol.cache_key}); concurrent
+    simulate requests sharing a capture are batched onto
+    {!Bw_exec.Run.replay_many} ({!Batch}).
+
+    Raw lines beginning with ["GET "] are answered with a minimal
+    HTTP/1.0 response carrying the {!Expose.render} metrics text, so
+    [curl http://host:port/metrics] works against a TCP listener.
+
+    Shutdown is drain-then-exit: {!request_shutdown} (also wired to
+    SIGTERM/SIGINT by {!install_signal_handlers}) stops the accept
+    loop, wakes idle connections, lets busy ones finish their current
+    request, then {!wait} joins everything and shuts the pool down. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val pp_addr : Format.formatter -> addr -> unit
+
+type config = {
+  addr : addr;
+  jobs : int option;  (** worker domains; default [cores - 1] *)
+  cache_capacity : int;  (** result-cache entries before LRU eviction *)
+  capture_capacity : int;  (** capture-cache entries *)
+  verbose : bool;
+}
+
+val default_config : addr -> config
+
+type t
+
+(** Bind, listen, spawn the accept loop, and return immediately.
+    With [Tcp (host, 0)] the kernel picks a port; read it back from
+    {!addr}.  A stale Unix socket file at the requested path is
+    unlinked first. *)
+val start : config -> t
+
+(** The bound address — differs from the configured one only in the
+    ephemeral-port case. *)
+val addr : t -> addr
+
+(** Ask the server to drain: stop accepting, wake idle connections,
+    finish in-flight requests.  Returns immediately; safe to call from
+    a signal handler (it only sets a flag — the accept loop performs
+    the actual drain). *)
+val request_shutdown : t -> unit
+
+(** Block until the accept loop has exited and every connection has
+    drained, then shut the worker pool down and remove the Unix socket
+    file.  Call after {!request_shutdown} (or let a [shutdown] request
+    / signal trigger the drain). *)
+val wait : t -> unit
+
+(** [request_shutdown] + [wait]. *)
+val stop : t -> unit
+
+(** Route SIGTERM and SIGINT to {!request_shutdown}. *)
+val install_signal_handlers : t -> unit

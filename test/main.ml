@@ -5,4 +5,5 @@ let () =
    @ Test_workloads.suites @ Test_fusion.suites @ Test_core.suites
    @ Test_reuse.suites @ Test_packing.suites @ Test_compile.suites
    @ Test_cache_equiv.suites @ Test_trace_store.suites @ Test_misc.suites
-   @ Test_obs.suites @ Test_qa.suites @ Test_predict.suites)
+   @ Test_obs.suites @ Test_qa.suites @ Test_predict.suites
+   @ Test_serve.suites)

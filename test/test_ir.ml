@@ -304,6 +304,65 @@ let qcheck_cases =
         | Ok e' -> e' = e
         | Error _ -> false) ]
 
+(* --- Digest: the serve cache-key primitive ----------------------------------- *)
+
+let test_digest_roundtrip_stable () =
+  (* digest must survive a pretty/parse round trip byte-for-byte *)
+  List.iter
+    (fun p ->
+      let src = Pretty.program_to_string p in
+      let q = Parser.parse_program_exn src in
+      check Alcotest.bool "roundtrip equal_program" true (equal_program p q);
+      check Alcotest.string "digest stable across roundtrip"
+        (Digest.program p) (Digest.program q))
+    [ sample_program; Bw_qa.Gen.generate ~seed:7 ~size:5 ]
+
+let test_digest_separates_programs () =
+  let d = Digest.program sample_program in
+  check Alcotest.bool "renamed program digests differently" false
+    (d = Digest.program { sample_program with prog_name = "other" });
+  check Alcotest.bool "changed live_out digests differently" false
+    (d = Digest.program { sample_program with live_out = [] });
+  check Alcotest.bool "reordered decls digest differently" false
+    (d
+    = Digest.program
+        { sample_program with decls = List.rev sample_program.decls })
+
+let test_digest_zero_canonical () =
+  (* -0.0 = 0.0, so equal_program cannot separate these; the digest
+     must not either *)
+  let prog lit =
+    { prog_name = "z";
+      decls = [ { var_name = "x"; dtype = F64; dims = []; init = Init_zero } ];
+      body = [ Assign (Lscalar "x", Float_lit lit); Print (Scalar "x") ];
+      live_out = [ "x" ] }
+  in
+  check Alcotest.bool "equal_program on +-0.0" true
+    (equal_program (prog 0.0) (prog (-0.0)));
+  check Alcotest.string "digest on +-0.0" (Digest.program (prog 0.0))
+    (Digest.program (prog (-0.0)))
+
+let test_digest_body_only () =
+  let renamed = { sample_program with prog_name = "other" } in
+  check Alcotest.string "body_only ignores the name"
+    (Digest.body_only sample_program) (Digest.body_only renamed);
+  check Alcotest.bool "program digest does not" false
+    (Digest.program sample_program = Digest.program renamed)
+
+let qcheck_digest_cases =
+  let open QCheck in
+  let arb_seed = QCheck.make ~print:string_of_int Gen.(0 -- 10_000) in
+  [ Test.make ~name:"equal programs digest equally (generator roundtrip)"
+      ~count:100 arb_seed (fun seed ->
+        let p = Bw_qa.Gen.generate ~seed ~size:4 in
+        let q = Parser.parse_program_exn (Pretty.program_to_string p) in
+        equal_program p q && Digest.program p = Digest.program q);
+    Test.make ~name:"distinct seeds rarely collide" ~count:50 arb_seed
+      (fun seed ->
+        let p = Bw_qa.Gen.generate ~seed ~size:4 in
+        let q = Bw_qa.Gen.generate ~seed:(seed + 50_000) ~size:4 in
+        equal_program p q || Digest.program p <> Digest.program q) ]
+
 let suites =
   [ ( "ir.check",
       [ Alcotest.test_case "accepts sample" `Quick test_check_accepts_sample;
@@ -338,5 +397,13 @@ let suites =
       [ Alcotest.test_case "comments and case" `Quick test_lexer_comments_and_case;
         Alcotest.test_case "numbers" `Quick test_lexer_numbers;
         Alcotest.test_case "errors" `Quick test_lexer_error ] );
-    ("ir.properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_cases)
+    ( "ir.digest",
+      [ Alcotest.test_case "roundtrip stable" `Quick test_digest_roundtrip_stable;
+        Alcotest.test_case "separates programs" `Quick test_digest_separates_programs;
+        Alcotest.test_case "+-0.0 canonical" `Quick test_digest_zero_canonical;
+        Alcotest.test_case "body_only" `Quick test_digest_body_only ] );
+    ( "ir.properties",
+      List.map
+        (QCheck_alcotest.to_alcotest ~long:false)
+        (qcheck_cases @ qcheck_digest_cases) )
   ]

@@ -1,0 +1,412 @@
+(* The serve subsystem: the single-flight LRU result cache, the wire
+   protocol's validation and cache keying, the simulate batcher, and a
+   real in-process daemon exercised over TCP — byte-identical cache
+   hits, zero engine work on repeats, malformed requests that never
+   kill the connection, graceful drain, and the load generator. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+module Json = Bw_core.Json
+module Cache = Bw_serve.Cache
+module Protocol = Bw_serve.Protocol
+module Server = Bw_serve.Server
+module Client = Bw_serve.Client
+module Metrics = Bw_obs.Metrics
+
+(* --- cache ------------------------------------------------------------------ *)
+
+let test_cache_hit_and_miss () =
+  let c = Cache.create ~capacity:8 () in
+  let computed = ref 0 in
+  let f () = incr computed; 42 in
+  let v1, how1 = Cache.find_or_compute c ~key:"k" f in
+  let v2, how2 = Cache.find_or_compute c ~key:"k" f in
+  check int "first value" 42 v1;
+  check int "second value" 42 v2;
+  check bool "first is a miss" true (how1 = `Miss);
+  check bool "second is a hit" true (how2 = `Hit);
+  check int "computed exactly once" 1 !computed
+
+let test_cache_eviction_at_capacity () =
+  let c = Cache.create ~capacity:2 () in
+  ignore (Cache.find_or_compute c ~key:"a" (fun () -> 1));
+  ignore (Cache.find_or_compute c ~key:"b" (fun () -> 2));
+  (* refresh "a" so "b" is the least recently used *)
+  check (Alcotest.option int) "peek refreshes a" (Some 1) (Cache.find c "a");
+  ignore (Cache.find_or_compute c ~key:"c" (fun () -> 3));
+  check bool "a survives" true (Cache.mem c "a");
+  check bool "b evicted" false (Cache.mem c "b");
+  check bool "c present" true (Cache.mem c "c");
+  let s = Cache.stats c in
+  check int "size at capacity" 2 s.Cache.size;
+  check int "one eviction" 1 s.Cache.evictions
+
+let test_cache_single_flight () =
+  let c = Cache.create ~capacity:8 () in
+  let computed = ref 0 in
+  let m = Mutex.create () in
+  let f () =
+    Mutex.lock m;
+    incr computed;
+    Mutex.unlock m;
+    Thread.delay 0.1;
+    "value"
+  in
+  let results = Array.make 4 ("", `Miss) in
+  let threads =
+    Array.init 4 (fun i ->
+        Thread.create
+          (fun () -> results.(i) <- Cache.find_or_compute c ~key:"shared" f)
+          ())
+  in
+  Array.iter Thread.join threads;
+  check int "computed exactly once" 1 !computed;
+  Array.iter
+    (fun (v, _) -> check string "every caller got the value" "value" v)
+    results;
+  let misses =
+    Array.fold_left
+      (fun acc (_, how) -> if how = `Miss then acc + 1 else acc)
+      0 results
+  in
+  check int "exactly one miss" 1 misses;
+  check int "three joins" 3 (Cache.stats c).Cache.single_flight_joins
+
+let test_cache_failure_does_not_poison () =
+  let c = Cache.create ~capacity:4 () in
+  (match Cache.find_or_compute c ~key:"k" (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "expected the computation's exception"
+  | exception Failure msg -> check string "exception propagates" "boom" msg);
+  check bool "nothing cached" false (Cache.mem c "k");
+  let v, how = Cache.find_or_compute c ~key:"k" (fun () -> 7) in
+  check int "retry succeeds" 7 v;
+  check bool "retry is a miss" true (how = `Miss)
+
+(* --- protocol --------------------------------------------------------------- *)
+
+let test_protocol_rejects_garbage () =
+  let expect_error line =
+    match Protocol.request_of_string line with
+    | Ok _ -> Alcotest.fail ("accepted: " ^ line)
+    | Error msg ->
+      check bool
+        ("one-line error for " ^ line)
+        false
+        (String.contains msg '\n')
+  in
+  expect_error "this is not json";
+  expect_error "{\"v\":1}";
+  expect_error "{\"v\":1,\"op\":\"frobnicate\"}";
+  expect_error "{\"v\":99,\"op\":\"ping\"}";
+  expect_error "{\"v\":1,\"op\":\"analyze\",\"scale\":7,\"program\":\"x\"}";
+  expect_error "{\"v\":1,\"op\":\"fuzz\",\"count\":0}"
+
+let test_protocol_roundtrip () =
+  let req =
+    { (Protocol.default_request Protocol.Predict) with
+      Protocol.id = Some "r1";
+      program = Some "fig7";
+      machines = [ "origin2000"; "exemplar" ];
+      budget = `Analytic;
+      scale = 2;
+      no_cache = true }
+  in
+  match Protocol.request_of_json (Protocol.json_of_request req) with
+  | Error msg -> Alcotest.fail msg
+  | Ok req' ->
+    check bool "round-trips" true (req = req')
+
+let digest_program name =
+  match Bw_core.Loader.load_program ~scale:1 name with
+  | Ok p -> p
+  | Error msg -> Alcotest.fail msg
+
+let test_cache_keys_never_collide () =
+  let p = Some (digest_program "read_loop") in
+  let base = Protocol.default_request Protocol.Analyze in
+  let variants =
+    [ base;
+      { base with Protocol.machines = [ "exemplar" ] };
+      { base with Protocol.machines = [ "origin2000"; "exemplar" ] };
+      { base with Protocol.engine = `Interpreted };
+      { base with Protocol.op = Protocol.Predict };
+      { base with Protocol.op = Protocol.Predict; budget = `Analytic };
+      { base with Protocol.op = Protocol.Simulate };
+      { base with Protocol.op = Protocol.Optimize };
+      { base with
+        Protocol.op = Protocol.Optimize;
+        pipeline = { Protocol.default_pipeline with Protocol.lint = true } };
+      { base with
+        Protocol.op = Protocol.Optimize;
+        pipeline = { Protocol.default_pipeline with Protocol.fuel = Some 2 } };
+      { base with Protocol.op = Protocol.Fuzz };
+      { base with Protocol.op = Protocol.Fuzz; seed = 2 } ]
+  in
+  let keys =
+    List.map
+      (fun r ->
+        match Protocol.cache_key r ~program:p with
+        | Some k -> k
+        | None -> Alcotest.fail "expected a cache key")
+      variants
+  in
+  let distinct = List.sort_uniq compare keys in
+  check int "all keys distinct" (List.length keys) (List.length distinct);
+  (* a different program gives a different key *)
+  let other = Some (digest_program "write_loop") in
+  check bool "program digest is in the key" false
+    (Protocol.cache_key base ~program:p
+    = Protocol.cache_key base ~program:other);
+  (* scale is deliberately NOT in the key: it only affects the answer
+     through the loaded program, whose digest already carries it *)
+  check bool "same AST, different scale field: same key" true
+    (Protocol.cache_key base ~program:p
+    = Protocol.cache_key { base with Protocol.scale = 2 } ~program:p);
+  (* uncacheable ops have no key *)
+  List.iter
+    (fun op ->
+      check bool "no key" true
+        (Protocol.cache_key (Protocol.default_request op) ~program:None = None))
+    [ Protocol.Ping; Protocol.Metrics; Protocol.Shutdown ]
+
+let test_cache_key_is_content_addressed () =
+  (* the same program sent by registry name and as inline source keys
+     identically: the key holds the IR digest, not the request text *)
+  let p = digest_program "read_loop" in
+  let source = Bw_ir.Pretty.program_to_string p in
+  let by_name =
+    { (Protocol.default_request Protocol.Analyze) with
+      Protocol.program = Some "read_loop" }
+  in
+  let by_source =
+    { (Protocol.default_request Protocol.Analyze) with
+      Protocol.source = Some source }
+  in
+  let load r = match Protocol.load_program r with
+    | Ok p -> Some p
+    | Error msg -> Alcotest.fail msg
+  in
+  check bool "identical keys" true
+    (Protocol.cache_key by_name ~program:(load by_name)
+    = Protocol.cache_key by_source ~program:(load by_source))
+
+(* --- batcher ----------------------------------------------------------------- *)
+
+let test_batch_groups_concurrent_requests () =
+  let batcher = Bw_serve.Batch.create ~jobs:1 () in
+  let p = Bw_workloads.Simple_example.read_loop ~n:500 in
+  let capture_count = ref 0 in
+  let arrived = Atomic.make 0 in
+  let o2000 = Bw_machine.Machine.origin2000 in
+  let exemplar = Bw_machine.Machine.exemplar in
+  let capture () =
+    incr capture_count;
+    (* wait until every thread is at least registering, so the drain
+       waves see them all and replay once or twice, never four times *)
+    while Atomic.get arrived < 4 do
+      Thread.delay 0.01
+    done;
+    Thread.delay 0.2;
+    Bw_exec.Run.capture p
+  in
+  let wants = [| [ o2000 ]; [ exemplar ]; [ o2000; exemplar ]; [ exemplar ] |] in
+  let results = Array.make 4 [] in
+  let threads =
+    Array.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+            Atomic.incr arrived;
+            results.(i) <-
+              Bw_serve.Batch.simulate batcher ~key:"k" ~capture wants.(i))
+          ())
+  in
+  Array.iter Thread.join threads;
+  check int "capture ran once" 1 !capture_count;
+  (* every thread got results for exactly its machines, bit-identical
+     to a direct simulation *)
+  Array.iteri
+    (fun i machines ->
+      check int "result per machine" (List.length machines)
+        (List.length results.(i));
+      List.iter2
+        (fun machine r ->
+          check bool "replay = direct" true
+            (Bw_exec.Run.equal_result r (Bw_exec.Run.simulate ~machine p)))
+        machines results.(i))
+    wants
+
+(* --- the daemon, over TCP ---------------------------------------------------- *)
+
+let with_server f =
+  let config =
+    { (Server.default_config (Server.Tcp ("127.0.0.1", 0))) with
+      Server.jobs = Some 2;
+      cache_capacity = 64 }
+  in
+  let server = Server.start config in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () -> f (Server.addr server))
+
+let analyze_line ?id () =
+  let req =
+    { (Protocol.default_request Protocol.Analyze) with
+      Protocol.id;
+      program = Some "read_loop" }
+  in
+  Json.to_string (Protocol.json_of_request req)
+
+let test_server_hit_is_byte_identical () =
+  with_server (fun addr ->
+      let client = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let line = analyze_line () in
+          let r1 = Result.get_ok (Client.request_raw client line) in
+          let r2 = Result.get_ok (Client.request_raw client line) in
+          check bool "first not cached" false (Protocol.response_cached r1);
+          check bool "second cached" true (Protocol.response_cached r2);
+          let payload r =
+            match Protocol.response_result r with
+            | Ok j -> Json.to_string j
+            | Error msg -> Alcotest.fail msg
+          in
+          check string "byte-identical result payload" (payload r1)
+            (payload r2)))
+
+let test_server_repeat_does_zero_engine_work () =
+  with_server (fun addr ->
+      let runs () =
+        Metrics.counter_value (Metrics.counter "engine.compiled.runs")
+      in
+      let req =
+        { (Protocol.default_request Protocol.Analyze) with
+          Protocol.program = Some "fig7";
+          machines = [ "origin2000"; "exemplar" ] }
+      in
+      let before = runs () in
+      let r1 = Result.get_ok (Client.one_shot addr req) in
+      check bool "first request ok" true
+        (Result.is_ok (Protocol.response_result r1));
+      let after_first = runs () in
+      check bool "the miss did engine work" true (after_first > before);
+      let r2 = Result.get_ok (Client.one_shot addr req) in
+      check bool "second cached" true (Protocol.response_cached r2);
+      check int "the hit did zero engine work" after_first (runs ()))
+
+let test_server_survives_malformed_requests () =
+  with_server (fun addr ->
+      let client = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let expect_error line =
+            let r = Result.get_ok (Client.request_raw client line) in
+            match Protocol.response_result r with
+            | Ok _ -> Alcotest.fail ("server accepted: " ^ line)
+            | Error msg ->
+              check bool "structured one-line error" false
+                (String.contains msg '\n')
+          in
+          expect_error "not json at all {{{";
+          expect_error "{\"v\":1,\"op\":\"frobnicate\"}";
+          expect_error "{\"v\":1,\"op\":\"analyze\"}";
+          (* no program *)
+          expect_error
+            "{\"v\":1,\"op\":\"analyze\",\"program\":\"no_such_workload\"}";
+          expect_error
+            "{\"v\":1,\"op\":\"analyze\",\"program\":\"read_loop\",\
+             \"machines\":[\"cray\"]}";
+          (* ...and the same connection still serves valid requests *)
+          let r =
+            Result.get_ok
+              (Client.request client (Protocol.default_request Protocol.Ping))
+          in
+          check bool "connection still alive" true
+            (Result.is_ok (Protocol.response_result r))))
+
+let test_server_metrics_endpoint () =
+  with_server (fun addr ->
+      ignore
+        (Result.get_ok
+           (Client.one_shot addr (Protocol.default_request Protocol.Ping)));
+      let body = Result.get_ok (Client.fetch_metrics addr) in
+      check bool "exposes serve_requests" true
+        (let needle = "serve_requests" in
+         let n = String.length needle and len = String.length body in
+         let rec go i =
+           i + n <= len && (String.sub body i n = needle || go (i + 1))
+         in
+         go 0))
+
+let test_server_drains_on_shutdown () =
+  let config = Server.default_config (Server.Tcp ("127.0.0.1", 0)) in
+  let server = Server.start config in
+  let addr = Server.addr server in
+  let r =
+    Result.get_ok
+      (Client.one_shot addr (Protocol.default_request Protocol.Shutdown))
+  in
+  check bool "shutdown acknowledged" true
+    (Result.is_ok (Protocol.response_result r));
+  Server.wait server;
+  (match Client.connect addr with
+  | client ->
+    (* a connect may still succeed transiently on some kernels; the
+       server must not answer on it *)
+    Client.close client
+  | exception _ -> ());
+  check bool "drained" true true
+
+let test_loadgen_against_live_server () =
+  with_server (fun addr ->
+      let spec =
+        { (Bw_serve.Loadgen.default_spec addr) with
+          Bw_serve.Loadgen.clients = 2;
+          requests = 60;
+          seed = 3 }
+      in
+      let stats = Bw_serve.Loadgen.run spec in
+      check int "every request answered" 60 stats.Bw_serve.Loadgen.requests;
+      check int "no errors" 0 stats.Bw_serve.Loadgen.errors;
+      check bool "the mixed stream hits the cache" true
+        (stats.Bw_serve.Loadgen.hit_rate > 0.1))
+
+let suites =
+  [ ( "serve.cache",
+      [ Alcotest.test_case "hit and miss" `Quick test_cache_hit_and_miss;
+        Alcotest.test_case "LRU eviction at capacity" `Quick
+          test_cache_eviction_at_capacity;
+        Alcotest.test_case "single-flight computes once" `Quick
+          test_cache_single_flight;
+        Alcotest.test_case "failure does not poison the key" `Quick
+          test_cache_failure_does_not_poison ] );
+    ( "serve.protocol",
+      [ Alcotest.test_case "rejects garbage with one-line errors" `Quick
+          test_protocol_rejects_garbage;
+        Alcotest.test_case "request round-trips through JSON" `Quick
+          test_protocol_roundtrip;
+        Alcotest.test_case "distinct configs never collide" `Quick
+          test_cache_keys_never_collide;
+        Alcotest.test_case "key is content-addressed" `Quick
+          test_cache_key_is_content_addressed ] );
+    ( "serve.batch",
+      [ Alcotest.test_case "groups concurrent simulate requests" `Quick
+          test_batch_groups_concurrent_requests ] );
+    ( "serve.daemon",
+      [ Alcotest.test_case "cache hit is byte-identical" `Quick
+          test_server_hit_is_byte_identical;
+        Alcotest.test_case "repeat request does zero engine work" `Quick
+          test_server_repeat_does_zero_engine_work;
+        Alcotest.test_case "malformed requests never kill it" `Quick
+          test_server_survives_malformed_requests;
+        Alcotest.test_case "metrics endpoint" `Quick
+          test_server_metrics_endpoint;
+        Alcotest.test_case "drains on shutdown" `Quick
+          test_server_drains_on_shutdown;
+        Alcotest.test_case "load generator: no errors, cache hits" `Quick
+          test_loadgen_against_live_server ] ) ]
