@@ -221,14 +221,16 @@ let serve_bench ~requests ~clients =
       Format.printf
         "== serve load bench ==@.%d requests / %d clients in %.2f s \
          (%.0f req/s)@.latency p50 %.2f ms, p90 %.2f ms, p99 %.2f ms, max \
-         %.2f ms@.cache hit rate %.1f%%, %d errors@."
+         %.2f ms@.cache hit rate %.1f%%, %d errors (%d degraded, %d shed, \
+         %d retried)@."
         stats.Bw_serve.Loadgen.requests stats.Bw_serve.Loadgen.clients
         stats.Bw_serve.Loadgen.wall_seconds
         stats.Bw_serve.Loadgen.throughput_rps stats.Bw_serve.Loadgen.p50_ms
         stats.Bw_serve.Loadgen.p90_ms stats.Bw_serve.Loadgen.p99_ms
         stats.Bw_serve.Loadgen.max_ms
         (100.0 *. stats.Bw_serve.Loadgen.hit_rate)
-        stats.Bw_serve.Loadgen.errors;
+        stats.Bw_serve.Loadgen.errors stats.Bw_serve.Loadgen.degraded
+        stats.Bw_serve.Loadgen.shed stats.Bw_serve.Loadgen.retried;
       stats)
 
 (* --- entry point ---------------------------------------------------------- *)

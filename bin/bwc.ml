@@ -889,12 +889,20 @@ let resolve_addr socket host port =
   | None, None -> Bw_serve.Server.Unix_sock "bwc.sock"
 
 let serve_cmd =
-  let run socket host port jobs cache_capacity verbose =
+  let run socket host port jobs cache_capacity max_queue degrade_queue
+      default_deadline_ms max_deadline_ms idle_timeout max_request_bytes
+      verbose =
     let addr = resolve_addr socket host port in
     let config =
       { (Bw_serve.Server.default_config addr) with
         Bw_serve.Server.jobs;
         cache_capacity;
+        max_queue;
+        degrade_queue;
+        default_deadline_ms;
+        max_deadline_ms;
+        idle_timeout_s = idle_timeout;
+        max_request_bytes;
         verbose }
     in
     let server = Bw_serve.Server.start config in
@@ -919,6 +927,52 @@ let serve_cmd =
       & info [ "cache-capacity" ] ~docv:"N"
           ~doc:"Result-cache entries before LRU eviction.")
   in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Pending compute requests before new ones are rejected with \
+             $(b,overloaded) and a retry_after_ms hint.")
+  in
+  let degrade_queue_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "degrade-queue" ] ~docv:"N"
+          ~doc:
+            "Pending compute requests before predict/analyze answers degrade \
+             to the analytic tier (marked $(b,degraded: true)).")
+  in
+  let default_deadline_arg =
+    Arg.(
+      value & opt int 30_000
+      & info [ "default-deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Deadline applied to requests that do not carry their own \
+             deadline_ms; 0 disables.")
+  in
+  let max_deadline_arg =
+    Arg.(
+      value & opt int 300_000
+      & info [ "max-deadline-ms" ] ~docv:"MS"
+          ~doc:"Cap on client-supplied deadline_ms; 0 disables the cap.")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt float 60.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Watchdog closes connections idle longer than this (half-dead \
+             peers, slow-loris writers); 0 disables.")
+  in
+  let max_request_bytes_arg =
+    Arg.(
+      value & opt int (4 * 1024 * 1024)
+      & info [ "max-request-bytes" ] ~docv:"N"
+          ~doc:
+            "Longest accepted request line; longer ones get a structured \
+             $(b,request_too_large) error and the connection closes.")
+  in
   let verbose_flag =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Log drain progress to stderr.")
   in
@@ -928,24 +982,36 @@ let serve_cmd =
          "Run the bandwidth-advisor service: a long-running daemon answering \
           analyze/predict/optimize/simulate/fuzz requests as JSON lines over \
           a Unix or TCP socket, with a content-addressed result cache, \
-          batched simulation, and a /metrics endpoint.  SIGTERM drains and \
-          exits 0.")
+          batched simulation, and a /metrics endpoint.  Per-request \
+          deadlines, admission control with tier-degrading load shed, and \
+          worker-domain supervision keep it answering under overload and \
+          injected faults.  SIGTERM drains and exits 0.")
     Term.(
       const run $ socket_arg $ host_arg $ port_arg $ jobs_arg $ cache_arg
+      $ max_queue_arg $ degrade_queue_arg $ default_deadline_arg
+      $ max_deadline_arg $ idle_timeout_arg $ max_request_bytes_arg
       $ verbose_flag)
 
 let client_cmd =
   let run socket host port op_name id program source_file machines engine_name
-      budget_name scale seed count size no_cache load clients requests out =
+      budget_name scale seed count size no_cache deadline_ms timeout retries
+      chaos load clients requests out =
     let addr = resolve_addr socket host port in
     if load then begin
-      (* load-generator mode: seeded mixed stream, stats JSON out *)
+      (* load-generator mode: seeded mixed stream, stats JSON out.
+         --chaos switches to resilient retrying clients and a
+         fault-hunting stream; its pass criterion is failed = 0 (every
+         request answered or cleanly rejected), where plain load keeps
+         the stricter errors = 0. *)
       let spec =
         { (Bw_serve.Loadgen.default_spec addr) with
           Bw_serve.Loadgen.clients;
           requests;
           seed;
-          scale }
+          scale;
+          chaos;
+          timeout_s = (if timeout > 0. then timeout else 10.0);
+          retries = (if retries > 0 then retries else 3) }
       in
       let stats = Bw_serve.Loadgen.run spec in
       let doc = Bw_core.Json.to_string (Bw_serve.Loadgen.json_of_stats stats) in
@@ -956,7 +1022,11 @@ let client_cmd =
         output_string oc doc;
         output_char oc '\n';
         close_out oc);
-      if stats.Bw_serve.Loadgen.errors > 0 then exit 2
+      let bad =
+        if chaos then stats.Bw_serve.Loadgen.failed > 0
+        else stats.Bw_serve.Loadgen.errors > 0
+      in
+      if bad then exit 2
     end
     else if op_name = "metrics-raw" then
       (* scrape the /metrics endpoint and print the exposition text *)
@@ -996,9 +1066,34 @@ let client_cmd =
           seed;
           count;
           size;
-          no_cache }
+          no_cache;
+          deadline_ms = (if deadline_ms > 0 then Some deadline_ms else None) }
       in
-      let response = or_die (Bw_serve.Client.one_shot addr req) in
+      let response =
+        if retries > 0 then begin
+          (* resilient path: per-attempt timeout, bounded retries with
+             backoff, honours the server's retry_after_ms hint *)
+          let cfg =
+            { Bw_serve.Client.default_retry_config with
+              Bw_serve.Client.timeout_s =
+                (if timeout > 0. then timeout
+                 else Bw_serve.Client.default_retry_config
+                        .Bw_serve.Client.timeout_s);
+              max_retries = retries }
+          in
+          let rc = Bw_serve.Client.resilient ~cfg ~seed addr in
+          Fun.protect
+            ~finally:(fun () -> Bw_serve.Client.resilient_close rc)
+            (fun () -> or_die (Bw_serve.Client.resilient_request rc req))
+        end
+        else if timeout > 0. then begin
+          let client = Bw_serve.Client.connect ~timeout_s:timeout addr in
+          Fun.protect
+            ~finally:(fun () -> Bw_serve.Client.close client)
+            (fun () -> or_die (Bw_serve.Client.request client req))
+        end
+        else or_die (Bw_serve.Client.one_shot addr req)
+      in
       print_endline (Bw_core.Json.to_string response);
       match Bw_serve.Protocol.response_result response with
       | Ok _ -> ()
@@ -1072,6 +1167,44 @@ let client_cmd =
       value & flag
       & info [ "no-cache" ] ~doc:"Bypass the server's result cache.")
   in
+  let deadline_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline: the server abandons work past it and \
+             answers $(b,deadline_exceeded).  0 leaves the server default.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Socket send/receive timeout per attempt, so a stalled server \
+             surfaces as an error instead of a hang.  0 disables (load \
+             --chaos mode then uses 10 s).")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry transport failures and retryable rejections (overloaded, \
+             worker_crashed) up to $(docv) times with jittered backoff — \
+             idempotent requests only.  0 disables (load --chaos mode then \
+             uses 3).")
+  in
+  let chaos_flag =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "With --load: chaos-harness mode.  Clients retry with timeouts \
+             and backoff, the stream carries tight deadlines and cache \
+             bypasses, and the exit criterion relaxes to \"no request left \
+             unanswered\" (exit 2 only if a request got no reply at all) — \
+             structured rejections and degraded answers count as survival.")
+  in
   let load_flag =
     Arg.(
       value & flag
@@ -1105,7 +1238,8 @@ let client_cmd =
     Term.(
       const run $ socket_arg $ host_arg $ port_arg $ op_arg $ id_arg
       $ program_arg $ source_arg $ machines_arg $ engine_arg $ budget_arg
-      $ scale_arg $ seed_arg $ count_arg $ size_arg $ no_cache_flag $ load_flag
+      $ scale_arg $ seed_arg $ count_arg $ size_arg $ no_cache_flag
+      $ deadline_arg $ timeout_arg $ retries_arg $ chaos_flag $ load_flag
       $ clients_arg $ requests_arg $ out_arg)
 
 let () =

@@ -117,7 +117,10 @@ let run ?jobs ?(scale = 1) experiments =
 let json_of_results ?trace ?serve ~scale ~jobs ~micro outcomes =
   let base =
     [
-      ("schema_version", Bench_json.Int 4);
+      (* v5: the "serve" block gained per-outcome counts
+         (ok/degraded/rejected/shed/failed/retried) and an "outcomes"
+         object of per-class latency percentiles *)
+      ("schema_version", Bench_json.Int 5);
       ("scale", Bench_json.Int scale);
       ("jobs", Bench_json.Int jobs);
       ( "tables",

@@ -63,9 +63,20 @@ type t = {
   c : Condition.t;
   queue : task Queue.t;
   mutable stopping : bool;
-  mutable workers : unit Domain.t array;
+  mutable domains : unit Domain.t list;
   pool_jobs : int;
 }
+
+exception Worker_crashed of string
+
+let crash_site = "pool.worker.crash"
+
+let () =
+  Bw_obs.Fault.declare
+    ~doc:"Kill a persistent-pool worker domain at task pickup (serve chaos)"
+    crash_site
+
+let respawns_c = Bw_obs.Metrics.counter "pool.worker.respawns"
 
 let fulfill fut v =
   Mutex.lock fut.fm;
@@ -73,7 +84,21 @@ let fulfill fut v =
   Condition.broadcast fut.fc;
   Mutex.unlock fut.fm
 
-let worker_loop pool () =
+let fulfill_if_pending fut v =
+  Mutex.lock fut.fm;
+  (match fut.state with
+  | Pending ->
+    fut.state <- v;
+    Condition.broadcast fut.fc
+  | Done _ | Failed _ -> ());
+  Mutex.unlock fut.fm
+
+let one_line e =
+  match String.index_opt (Printexc.to_string e) '\n' with
+  | None -> Printexc.to_string e
+  | Some i -> String.sub (Printexc.to_string e) 0 i
+
+let worker_loop pool current () =
   let rec go () =
     Mutex.lock pool.m;
     while Queue.is_empty pool.queue && not pool.stopping do
@@ -81,15 +106,47 @@ let worker_loop pool () =
     done;
     if Queue.is_empty pool.queue && pool.stopping then Mutex.unlock pool.m
     else begin
-      let (Task (f, fut)) = Queue.pop pool.queue in
+      let (Task (f, fut) as task) = Queue.pop pool.queue in
+      current := Some task;
       Mutex.unlock pool.m;
+      (* The crash site is crossed after claiming a task but outside the
+         per-task confinement below: a fired [Raise] escapes the loop
+         and kills the whole domain with the future still pending,
+         which is exactly the failure mode supervision exists for. *)
+      (match Bw_obs.Fault.check crash_site with
+      | Some (Bw_obs.Fault.Delay ms) -> Bw_obs.Fault.sleep_ms ms
+      | Some (Bw_obs.Fault.Raise | Bw_obs.Fault.Corrupt) ->
+        raise (Bw_obs.Fault.Injected crash_site)
+      | None -> ());
       (match f () with
       | v -> fulfill fut (Done v)
       | exception e -> fulfill fut (Failed e));
+      current := None;
       go ()
     end
   in
   go ()
+
+(* Supervision: each domain runs [worker_loop] under a handler that
+   turns a domain death into (a) failing only the in-flight future and
+   (b) spawning a replacement, so a crashed worker never silently
+   shrinks the pool.  The replacement is registered under [pool.m] so
+   [shutdown] joins it too; no exception ever reaches [Domain.join]. *)
+let rec supervised pool () =
+  let current = ref None in
+  match worker_loop pool current () with
+  | () -> ()
+  | exception e ->
+    (match !current with
+    | Some (Task (_, fut)) ->
+      fulfill_if_pending fut
+        (Failed (Worker_crashed (Printf.sprintf "worker domain died: %s" (one_line e))))
+    | None -> ());
+    Bw_obs.Metrics.incr respawns_c;
+    Mutex.lock pool.m;
+    let respawn = (not pool.stopping) || not (Queue.is_empty pool.queue) in
+    if respawn then pool.domains <- Domain.spawn (supervised pool) :: pool.domains;
+    Mutex.unlock pool.m
 
 let create ?jobs () =
   let jobs =
@@ -100,13 +157,19 @@ let create ?jobs () =
       c = Condition.create ();
       queue = Queue.create ();
       stopping = false;
-      workers = [||];
+      domains = [];
       pool_jobs = jobs }
   in
-  pool.workers <- Array.init jobs (fun _ -> Domain.spawn (worker_loop pool));
+  pool.domains <- List.init jobs (fun _ -> Domain.spawn (supervised pool));
   pool
 
 let jobs pool = pool.pool_jobs
+
+let pending pool =
+  Mutex.lock pool.m;
+  let n = Queue.length pool.queue in
+  Mutex.unlock pool.m;
+  n
 
 let submit pool f =
   let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
@@ -142,4 +205,22 @@ let shutdown pool =
   pool.stopping <- true;
   Condition.broadcast pool.c;
   Mutex.unlock pool.m;
-  Array.iter (fun d -> try Domain.join d with _ -> ()) pool.workers
+  (* A worker crashing during the drain still respawns (so queued
+     futures get fulfilled), so the domain list can grow while we join:
+     keep taking snapshots until no unjoined domain remains. *)
+  let joined = ref [] in
+  let rec drain () =
+    Mutex.lock pool.m;
+    let fresh = List.filter (fun d -> not (List.memq d !joined)) pool.domains in
+    Mutex.unlock pool.m;
+    match fresh with
+    | [] -> ()
+    | ds ->
+      List.iter
+        (fun d ->
+          (try Domain.join d with _ -> ());
+          joined := d :: !joined)
+        ds;
+      drain ()
+  in
+  drain ()

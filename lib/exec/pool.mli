@@ -52,12 +52,26 @@ val default_jobs : unit -> int
     condition variable when idle (no spinning), tasks run in FIFO
     order, and completion is delivered through a future the submitter
     awaits — from any domain {e or} systhread, which is how the
-    daemon's per-connection threads hand work to compute domains. *)
+    daemon's per-connection threads hand work to compute domains.
+
+    Workers are {e supervised}: a worker domain that dies outside the
+    per-task exception confinement (an injected [pool.worker.crash]
+    fault, an asynchronous exception) fails only the task it had in
+    flight — its future settles with {!Worker_crashed} — and a
+    replacement domain is spawned immediately, so a crash degrades one
+    request instead of permanently shrinking the pool.  Respawns are
+    counted on the [pool.worker.respawns] metric. *)
 
 type t
 
 (** A handle to a submitted task's eventual result. *)
 type 'a future
+
+(** The error a future settles with when the worker domain executing it
+    died mid-task; the payload is a one-line rendering of the killing
+    exception.  Callers that retry should treat it as transient — the
+    pool has already been healed. *)
+exception Worker_crashed of string
 
 (** [create ?jobs ()] spawns [jobs] worker domains (default
     [default_jobs () - 1], at least 1 — the submitting thread is
@@ -66,6 +80,9 @@ val create : ?jobs:int -> unit -> t
 
 (** Worker domains of this pool. *)
 val jobs : t -> int
+
+(** Tasks currently queued (claimed-but-running tasks not included). *)
+val pending : t -> int
 
 (** Enqueue [f]; it runs on the first free worker.  An exception from
     [f] is captured into the future, never kills the worker.

@@ -3,7 +3,7 @@ type policy =
   | Every of int
   | Probability of float * int
 
-type action = Raise | Corrupt
+type action = Raise | Corrupt | Delay of int
 
 exception Injected of string
 
@@ -78,7 +78,12 @@ let reset () =
 
 (* --- spec parsing ---------------------------------------------------- *)
 
-let action_to_string = function Raise -> "raise" | Corrupt -> "corrupt"
+let default_delay_ms = 250
+
+let action_to_string = function
+  | Raise -> "raise"
+  | Corrupt -> "corrupt"
+  | Delay ms -> Printf.sprintf "delay:%d" ms
 
 let policy_to_string = function
   | Nth n -> Printf.sprintf "nth:%d" n
@@ -137,7 +142,18 @@ let parse_one item =
         match action_s with
         | "raise" -> Ok Raise
         | "corrupt" -> Ok Corrupt
-        | a -> Error (Printf.sprintf "bad action %S (expected raise or corrupt)" a)
+        | "delay" -> Ok (Delay default_delay_ms)
+        | a -> (
+          match String.index_opt a ':' with
+          | Some j when String.sub a 0 j = "delay" -> (
+            let ms_s = String.sub a (j + 1) (String.length a - j - 1) in
+            match int_of_string_opt ms_s with
+            | Some ms when ms > 0 -> Ok (Delay ms)
+            | _ -> Error (Printf.sprintf "bad delay duration %S" ms_s))
+          | _ ->
+            Error
+              (Printf.sprintf
+                 "bad action %S (expected raise, corrupt or delay[:MS])" a))
       in
       match action with
       | Error e -> Error e
@@ -204,7 +220,13 @@ let check name =
   | None -> ());
   fired
 
-let cut name = match check name with Some _ -> raise (Injected name) | None -> ()
+let sleep_ms ms = if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.)
+
+let cut name =
+  match check name with
+  | Some (Delay ms) -> sleep_ms ms
+  | Some (Raise | Corrupt) -> raise (Injected name)
+  | None -> ()
 
 let hits name =
   with_lock (fun () ->

@@ -20,22 +20,29 @@
     [Raise] means raise {!Injected}; [Corrupt] means apply a
     site-specific corruption (the optimizer guard mutates the stage's
     output IR) — sites with no meaningful corruption treat it as
-    [Raise].
+    [Raise].  [Delay ms] models a straggler rather than a crash: the
+    crossing code sleeps for [ms] milliseconds and then continues
+    normally; it is how the serve-layer chaos harness injects slow
+    computes and stalled sockets.
 
     The environment/CLI syntax understood by {!arm_spec} is a
     comma-separated list of [SITE=ACTION[@POLICY]]:
 
-    {[ BWC_FAULTS="guard.fuse=raise,guard.shrink=corrupt@nth:2" ]}
+    {[ BWC_FAULTS="guard.fuse=raise,serve.compute.delay=delay:100@every:10" ]}
 
-    where [ACTION] is [raise] or [corrupt] and [POLICY] is [nth:N],
-    [every:N] or [prob:P:SEED] (default [nth:1]). *)
+    where [ACTION] is [raise], [corrupt] or [delay[:MS]] (default
+    250 ms) and [POLICY] is [nth:N], [every:N] or [prob:P:SEED]
+    (default [nth:1]). *)
 
 type policy =
   | Nth of int  (** fire exactly once, on the n-th crossing (1-based) *)
   | Every of int  (** fire on every n-th crossing *)
   | Probability of float * int  (** [(p, seed)]: seeded Bernoulli draw *)
 
-type action = Raise | Corrupt
+type action =
+  | Raise
+  | Corrupt
+  | Delay of int  (** sleep this many milliseconds, then continue *)
 
 (** Raised (by crossing code) when an armed [Raise] fault fires. *)
 exception Injected of string
@@ -73,8 +80,13 @@ val reset : unit -> unit
 val check : string -> action option
 
 (** [cut site] is [check] for sites with no corruption semantics: both
-    [Raise] and [Corrupt] raise {!Injected}. *)
+    [Raise] and [Corrupt] raise {!Injected}, while [Delay ms] sleeps
+    and returns. *)
 val cut : string -> unit
+
+(** Sleep for [ms] milliseconds (no-op when [ms <= 0]); the helper
+    crossing code uses to honour a [Delay] action. *)
+val sleep_ms : int -> unit
 
 (** Crossings / fires recorded at a site since the last {!reset}. *)
 val hits : string -> int

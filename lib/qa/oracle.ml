@@ -47,6 +47,9 @@ let transform (p : Ast.program) =
        (raising here would let the minimizer collapse a reproducer into
        a degenerate empty program that "fails" for the wrong reason) *)
     | None -> p')
+  | Some (Bw_obs.Fault.Delay ms) ->
+    Bw_obs.Fault.sleep_ms ms;
+    p'
   | None -> p'
 
 let programs_total = Bw_obs.Metrics.counter "qa.fuzz.programs"

@@ -21,7 +21,8 @@ type waiter = {
 and outcome =
   | Waiting
   | Served of Bw_exec.Run.result list  (* in [machines] order *)
-  | Failed of exn
+  | Failed of exn  (* this waiter's own attempt failed *)
+  | Orphaned of exn  (* the group's leader failed; retry individually *)
 
 type group = { mutable leader : bool; mutable pending : waiter list }
 
@@ -36,6 +37,7 @@ let create ?jobs () = { m = Mutex.create (); groups = Hashtbl.create 8; jobs }
 let requests_c = Bw_obs.Metrics.counter "serve.batch.requests"
 let replays_c = Bw_obs.Metrics.counter "serve.batch.replays"
 let grouped_c = Bw_obs.Metrics.counter "serve.batch.grouped"
+let orphaned_c = Bw_obs.Metrics.counter "serve.batch.orphaned"
 
 let settle w outcome =
   Mutex.lock w.wm;
@@ -51,10 +53,7 @@ let await w =
   done;
   let o = w.outcome in
   Mutex.unlock w.wm;
-  match o with
-  | Served results -> results
-  | Failed e -> raise e
-  | Waiting -> assert false
+  o
 
 (* Union of the batch's machine lists, deduplicated by machine name,
    first-arrival order preserved (deterministic given arrival order). *)
@@ -87,17 +86,24 @@ let drain t key g =
     Some batch
   end
 
-let fail_all t key g e =
+(* A leader failure must not take its followers down with it: the
+   leader's own waiter fails (the exception belongs to its attempt),
+   but every other drained waiter is merely {e orphaned} — it retries
+   individually in [simulate] below, typically electing a new leader
+   whose capture attempt is independent of the one that died. *)
+let fail_all t key g ~leader e =
   let rec go () =
     match drain t key g with
     | None -> ()
     | Some batch ->
-      List.iter (fun w -> settle w (Failed e)) batch;
+      List.iter
+        (fun w -> settle w (if w == leader then Failed e else Orphaned e))
+        batch;
       go ()
   in
   go ()
 
-let serve_batches t key g capture =
+let serve_batches t key g ~leader capture =
   let rec go () =
     match drain t key g with
     | None -> ()
@@ -125,39 +131,58 @@ let serve_batches t key g capture =
           batch;
         go ()
       | exception e ->
-        List.iter (fun w -> settle w (Failed e)) batch;
-        go ())
+        List.iter
+          (fun w -> settle w (if w == leader then Failed e else Orphaned e))
+          batch;
+        (* the group is poisoned for this leader; release the rest *)
+        fail_all t key g ~leader e)
   in
   go ()
 
 let simulate t ~key ~capture machines =
   Bw_obs.Metrics.incr requests_c;
-  let w =
-    { wm = Mutex.create ();
-      wc = Condition.create ();
-      machines;
-      outcome = Waiting }
+  (* One individual retry after an orphaning: the retry either becomes
+     its own leader (fresh capture attempt) or rides a healthy new
+     group; a second orphaning means the failure is not specific to the
+     dead leader, so it propagates. *)
+  let rec attempt retries =
+    let w =
+      { wm = Mutex.create ();
+        wc = Condition.create ();
+        machines;
+        outcome = Waiting }
+    in
+    Mutex.lock t.m;
+    let g =
+      match Hashtbl.find_opt t.groups key with
+      | Some g -> g
+      | None ->
+        let g = { leader = false; pending = [] } in
+        Hashtbl.add t.groups key g;
+        g
+    in
+    g.pending <- w :: g.pending;
+    let outcome =
+      if g.leader then begin
+        (* somebody is already replaying this capture; ride along *)
+        Mutex.unlock t.m;
+        await w
+      end
+      else begin
+        g.leader <- true;
+        Mutex.unlock t.m;
+        (match capture () with
+        | c -> serve_batches t key g ~leader:w c
+        | exception e -> fail_all t key g ~leader:w e);
+        await w
+      end
+    in
+    match outcome with
+    | Served results -> results
+    | Failed e -> raise e
+    | Orphaned e ->
+      Bw_obs.Metrics.incr orphaned_c;
+      if retries > 0 then attempt (retries - 1) else raise e
+    | Waiting -> assert false
   in
-  Mutex.lock t.m;
-  let g =
-    match Hashtbl.find_opt t.groups key with
-    | Some g -> g
-    | None ->
-      let g = { leader = false; pending = [] } in
-      Hashtbl.add t.groups key g;
-      g
-  in
-  g.pending <- w :: g.pending;
-  if g.leader then begin
-    (* somebody is already replaying this capture; ride along *)
-    Mutex.unlock t.m;
-    await w
-  end
-  else begin
-    g.leader <- true;
-    Mutex.unlock t.m;
-    (match capture () with
-    | c -> serve_batches t key g c
-    | exception e -> fail_all t key g e);
-    await w
-  end
+  attempt 1

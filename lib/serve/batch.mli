@@ -10,9 +10,17 @@
     results are distributed.  An idle-time request does exactly the
     work it would have done alone.
 
+    A failing leader never strands its followers: if the leader's
+    capture (or a wave's replay) raises, the exception fails only the
+    leader's own request, while every follower it had drained is
+    {e orphaned} and silently retries once on its own — electing a new
+    leader with an independent capture attempt — before giving up.
+    Followers are therefore never left blocked on a dead leader.
+
     Counted in {!Bw_obs.Metrics}: [serve.batch.requests] (calls),
     [serve.batch.replays] (fan-outs executed), [serve.batch.grouped]
-    (requests served by another request's fan-out). *)
+    (requests served by another request's fan-out),
+    [serve.batch.orphaned] (followers released by a failing leader). *)
 
 type t
 
@@ -21,8 +29,9 @@ val create : ?jobs:int -> unit -> t
 
 (** [simulate t ~key ~capture machines] returns per-machine results in
     [machines] order.  [capture] runs at most once per concurrent
-    group.  Exceptions from the capture or replay propagate to every
-    request they affect. *)
+    group.  An exception from the capture or replay propagates to the
+    leading request; followers retry once individually (re-running
+    [capture]) before the exception propagates to them too. *)
 val simulate :
   t ->
   key:string ->

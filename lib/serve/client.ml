@@ -5,7 +5,11 @@ module Json = Bw_core.Json
 
 type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
-let connect (addr : Server.addr) =
+let connect ?timeout_s (addr : Server.addr) =
+  (* a server dropping the connection mid-request must surface as
+     Sys_error, not SIGPIPE-kill the client process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let fd, sockaddr =
     match addr with
     | Server.Unix_sock path ->
@@ -21,6 +25,13 @@ let connect (addr : Server.addr) =
       (Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0,
        Unix.ADDR_INET (inet, port))
   in
+  (match timeout_s with
+  | Some s when s > 0.0 -> (
+    try
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+    with Unix.Unix_error _ -> ())
+  | _ -> ());
   (try Unix.connect fd sockaddr
    with e ->
      (try Unix.close fd with _ -> ());
@@ -43,20 +54,156 @@ let recv_line t =
   | exception Sys_error msg -> Error msg
 
 let request_raw t line =
-  send_line t line;
-  match recv_line t with
-  | Error _ as e -> e
-  | Ok reply -> (
-    match Json.parse reply with
-    | j -> Ok j
-    | exception Json.Parse_error msg ->
-      Error (Printf.sprintf "malformed response: %s" msg))
+  match send_line t line with
+  | exception Sys_error msg -> Error msg
+  | () -> (
+    match recv_line t with
+    | Error _ as e -> e
+    | Ok reply -> (
+      match Json.parse reply with
+      | j -> Ok j
+      | exception Json.Parse_error msg ->
+        Error (Printf.sprintf "malformed response: %s" msg)))
 
 let request t req = request_raw t (Json.to_string (Protocol.json_of_request req))
 
 let one_shot addr req =
   let t = connect addr in
   Fun.protect ~finally:(fun () -> close t) (fun () -> request t req)
+
+(* --- resilient client -------------------------------------------------------- *)
+
+type retry_config = {
+  timeout_s : float;
+  max_retries : int;
+  base_backoff_ms : int;
+  max_backoff_ms : int;
+  retry_budget_ms : int;
+}
+
+let default_retry_config =
+  { timeout_s = 10.0;
+    max_retries = 3;
+    base_backoff_ms = 25;
+    max_backoff_ms = 2_000;
+    retry_budget_ms = 30_000 }
+
+type resilient = {
+  r_addr : Server.addr;
+  cfg : retry_config;
+  rng : Random.State.t;
+  mutable conn : t option;
+  mutable budget_left_ms : int;
+  mutable prev_backoff_ms : int;
+  mutable retries : int;
+}
+
+let retries_c = Bw_obs.Metrics.counter "client.retries"
+let backoff_h = Bw_obs.Metrics.histogram "client.retry.backoff_ms"
+
+let resilient ?(cfg = default_retry_config) ?(seed = 0) addr =
+  { r_addr = addr;
+    cfg;
+    rng = Random.State.make [| seed; 0x5e11e27 |];
+    conn = None;
+    budget_left_ms = cfg.retry_budget_ms;
+    prev_backoff_ms = cfg.base_backoff_ms;
+    retries = 0 }
+
+let retry_count rc = rc.retries
+
+let resilient_close rc =
+  match rc.conn with
+  | Some c ->
+    close c;
+    rc.conn <- None
+  | None -> ()
+
+let rc_conn rc =
+  match rc.conn with
+  | Some c -> c
+  | None ->
+    let c =
+      connect
+        ?timeout_s:
+          (if rc.cfg.timeout_s > 0.0 then Some rc.cfg.timeout_s else None)
+        rc.r_addr
+    in
+    rc.conn <- Some c;
+    c
+
+(* Decorrelated jitter: sleep ~ uniform(base, prev * 3), capped — the
+   spread de-synchronises a thundering herd of retrying clients. *)
+let next_backoff_ms rc =
+  let base = rc.cfg.base_backoff_ms in
+  let hi = max (base + 1) (rc.prev_backoff_ms * 3) in
+  let ms = min rc.cfg.max_backoff_ms (base + Random.State.int rc.rng (hi - base)) in
+  rc.prev_backoff_ms <- ms;
+  ms
+
+(* Sleep within the remaining retry budget; returns false once the
+   budget is exhausted (the caller then stops retrying). *)
+let backoff_sleep rc ms =
+  let ms = min ms rc.budget_left_ms in
+  if ms <= 0 then false
+  else begin
+    Bw_obs.Metrics.observe backoff_h (float_of_int ms);
+    rc.budget_left_ms <- rc.budget_left_ms - ms;
+    Thread.delay (float_of_int ms /. 1000.);
+    true
+  end
+
+(* Error codes where the server asks for another attempt: overload
+   clears, and a crashed worker has already been respawned.  Deadline
+   and drain rejections are final; [request_too_large] would only
+   recur. *)
+let retryable_code = function
+  | Some "overloaded" | Some "worker_crashed" -> true
+  | Some _ | None -> false
+
+let resilient_request rc (req : Protocol.request) =
+  let idempotent = Protocol.idempotent req in
+  let line = Json.to_string (Protocol.json_of_request req) in
+  let count_retry () =
+    rc.retries <- rc.retries + 1;
+    Bw_obs.Metrics.incr retries_c
+  in
+  let rec attempt n =
+    let can_retry = idempotent && n < rc.cfg.max_retries in
+    let retry_or fallback sleep_ms =
+      if can_retry && backoff_sleep rc sleep_ms then begin
+        count_retry ();
+        attempt (n + 1)
+      end
+      else fallback ()
+    in
+    match rc_conn rc with
+    | exception e ->
+      let msg = Printexc.to_string e in
+      retry_or (fun () -> Error msg) (next_backoff_ms rc)
+    | c -> (
+      match request_raw c line with
+      | Error msg ->
+        (* transport failure or read timeout: the stream may hold a
+           half-written reply, so always reconnect before retrying *)
+        resilient_close rc;
+        retry_or (fun () -> Error msg) (next_backoff_ms rc)
+      | Ok reply -> (
+        match Protocol.response_result reply with
+        | Ok _ -> Ok reply
+        | Error _ ->
+          if retryable_code (Protocol.response_error_code reply) then
+            (* honour the server's backoff hint when it gave one,
+               jittered so synchronised clients spread back out *)
+            let sleep =
+              match Protocol.response_retry_after_ms reply with
+              | Some ms -> ms + Random.State.int rc.rng (max 1 ((ms / 2) + 1))
+              | None -> next_backoff_ms rc
+            in
+            retry_or (fun () -> Ok reply) sleep
+          else Ok reply))
+  in
+  attempt 0
 
 (* Scrape the /metrics endpoint: raw GET line, then read the HTTP
    response until EOF (the server closes after a scrape) and strip the

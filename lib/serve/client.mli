@@ -1,12 +1,21 @@
 (** Blocking client for the [bwc serve] wire protocol — one JSON
     request per line, one JSON response line back.  Used by
-    [bwc client], the load generator, and the tests. *)
+    [bwc client], the load generator, and the tests.
+
+    Two layers: the plain client ({!connect}/{!request}) does exactly
+    one attempt, while {!resilient} adds per-attempt socket timeouts,
+    bounded retries with decorrelated-jitter exponential backoff and a
+    total sleep budget, honours the server's [retry_after_ms] hint,
+    and only ever retries idempotent requests
+    ({!Protocol.idempotent}). *)
 
 type t
 
-(** Connect to a running server.  Raises [Unix.Unix_error] (or
-    [Failure] for an unresolvable host) on failure. *)
-val connect : Server.addr -> t
+(** Connect to a running server.  [timeout_s] sets SO_RCVTIMEO /
+    SO_SNDTIMEO so a stalled server surfaces as a transport error
+    instead of a hang.  Raises [Unix.Unix_error] (or [Failure] for an
+    unresolvable host) on failure. *)
+val connect : ?timeout_s:float -> Server.addr -> t
 
 val close : t -> unit
 
@@ -24,3 +33,40 @@ val one_shot : Server.addr -> Protocol.request -> (Bw_core.Json.t, string) resul
 (** Scrape the [/metrics] endpoint over a fresh connection and return
     the exposition body (HTTP headers stripped). *)
 val fetch_metrics : Server.addr -> (string, string) result
+
+(** {2 Resilient client} *)
+
+type retry_config = {
+  timeout_s : float;  (** per-attempt socket timeout; [0.] = none *)
+  max_retries : int;  (** additional attempts per request *)
+  base_backoff_ms : int;  (** backoff floor *)
+  max_backoff_ms : int;  (** backoff ceiling *)
+  retry_budget_ms : int;
+      (** total backoff sleep allowed over the client's lifetime; once
+          spent, failures are returned instead of retried *)
+}
+
+(** 10 s timeout, 3 retries, 25 ms..2 s backoff, 30 s budget. *)
+val default_retry_config : retry_config
+
+type resilient
+
+(** Lazily-connecting retrying client.  [seed] makes the jitter
+    deterministic for tests. *)
+val resilient : ?cfg:retry_config -> ?seed:int -> Server.addr -> resilient
+
+val resilient_close : resilient -> unit
+
+(** Retries performed so far (across all requests on this client). *)
+val retry_count : resilient -> int
+
+(** One request with retries.  Transport errors (including timeouts —
+    the connection is re-established, since the stream may hold a
+    half-written reply) and server rejections with a retryable [code]
+    ([overloaded], honouring its [retry_after_ms]; [worker_crashed])
+    are retried with backoff while attempts and budget remain, and only
+    for idempotent requests.  Other structured errors — including
+    [deadline_exceeded] and [shutting_down] — are returned as-is:
+    they are answers, not transport failures. *)
+val resilient_request :
+  resilient -> Protocol.request -> (Bw_core.Json.t, string) result

@@ -4,6 +4,17 @@
 
 module Json = Bw_core.Json
 
+exception Deadline_exceeded
+
+(* Deadlines are absolute [Unix.gettimeofday] instants (the server
+   computes them at admission); checks sit at tier boundaries — before
+   each per-machine evaluation, each simulation, each fuzz iteration —
+   so an expired request stops at the next coarse-grained step instead
+   of being computed to completion and thrown away. *)
+let check_deadline = function
+  | None -> ()
+  | Some d -> if Unix.gettimeofday () > d then raise Deadline_exceeded
+
 let mb bytes = float_of_int bytes /. 1e6
 
 let run_json (r : Bw_exec.Run.result) =
@@ -41,7 +52,8 @@ let run_json (r : Bw_exec.Run.result) =
 
 (* --- analyze --------------------------------------------------------------- *)
 
-let analyze (req : Protocol.request) ~machines p =
+let analyze ?deadline (req : Protocol.request) ~machines p =
+  check_deadline deadline;
   let results =
     Bw_exec.Run.simulate_many ~engine:req.Protocol.engine ~machines p
   in
@@ -51,11 +63,12 @@ let analyze (req : Protocol.request) ~machines p =
 
 (* --- predict --------------------------------------------------------------- *)
 
-let predict (req : Protocol.request) ~machines p =
+let predict ?deadline (req : Protocol.request) ~machines p =
   let budget = Protocol.evaluate_budget req.Protocol.budget in
   let rows =
     List.map
       (fun machine ->
+        check_deadline deadline;
         let e = Bw_exec.Evaluate.of_program ~budget ~machine p in
         Json.Obj
           [ ("machine", Json.String e.Bw_exec.Evaluate.machine_name);
@@ -83,7 +96,7 @@ let verdict_json = function
           Json.String
             (Format.asprintf "%a" Bw_transform.Guard.pp_failure failure) ) ]
 
-let optimize (req : Protocol.request) ~machines p =
+let optimize ?deadline (req : Protocol.request) ~machines p =
   let pl = req.Protocol.pipeline in
   let guard =
     { Bw_transform.Guard.default_config with
@@ -92,10 +105,13 @@ let optimize (req : Protocol.request) ~machines p =
       fuel = pl.Protocol.fuel }
   in
   let machine = List.hd machines in
+  check_deadline deadline;
   let p', report, events =
     Bw_transform.Strategy.run_guarded ~guard ~machine p
   in
+  check_deadline deadline;
   let before = Bw_exec.Run.simulate ~engine:req.Protocol.engine ~machine p in
+  check_deadline deadline;
   let after = Bw_exec.Run.simulate ~engine:req.Protocol.engine ~machine p' in
   let traffic (r : Bw_exec.Run.result) =
     mb (Bw_machine.Timing.memory_bytes r.Bw_exec.Run.cache)
@@ -167,7 +183,8 @@ let simulate_payload p results =
                    ) ])
              results) ) ]
 
-let simulate ?replay (req : Protocol.request) ~machines p =
+let simulate ?deadline ?replay (req : Protocol.request) ~machines p =
+  check_deadline deadline;
   let results =
     match replay with
     | Some f -> f machines
@@ -179,10 +196,11 @@ let simulate ?replay (req : Protocol.request) ~machines p =
 
 (* --- fuzz ------------------------------------------------------------------ *)
 
-let fuzz (req : Protocol.request) =
+let fuzz ?deadline (req : Protocol.request) =
   let failure = ref None in
   let k = ref 0 in
   while !failure = None && !k < req.Protocol.count do
+    check_deadline deadline;
     let seed = req.Protocol.seed + !k in
     let p = Bw_qa.Gen.generate ~seed ~size:req.Protocol.size in
     (match Bw_qa.Oracle.test p with
@@ -212,14 +230,20 @@ let fuzz (req : Protocol.request) =
    server thread simulate requests through its batcher; everything else
    is self-contained.  Ping/Metrics/Shutdown are server concerns and
    never reach this function. *)
-let compute ?replay (req : Protocol.request) ~machines
+let compute ?deadline ?replay (req : Protocol.request) ~machines
     (program : Bw_ir.Ast.program option) =
   match (req.Protocol.op, program) with
-  | Protocol.Analyze, Some p -> analyze req ~machines p
-  | Protocol.Predict, Some p -> predict req ~machines p
-  | Protocol.Optimize, Some p -> optimize req ~machines p
-  | Protocol.Simulate, Some p -> simulate ?replay req ~machines p
-  | Protocol.Fuzz, _ -> fuzz req
+  | Protocol.Analyze, Some p -> analyze ?deadline req ~machines p
+  | Protocol.Predict, Some p -> predict ?deadline req ~machines p
+  | Protocol.Optimize, Some p -> optimize ?deadline req ~machines p
+  | Protocol.Simulate, Some p -> simulate ?deadline ?replay req ~machines p
+  | Protocol.Fuzz, _ -> fuzz ?deadline req
   | (Protocol.Ping | Protocol.Metrics | Protocol.Shutdown), _
   | _, None ->
     invalid_arg "Handle.compute: op handled by the server loop"
+
+(* Under overload the server answers degradable ops from the analytic
+   tier regardless of the requested budget: same payload shape as
+   [predict], microseconds of work, honestly tagged by the caller. *)
+let degraded (req : Protocol.request) ~machines p =
+  predict { req with Protocol.budget = `Analytic } ~machines p

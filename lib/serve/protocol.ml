@@ -47,6 +47,7 @@ type request = {
   count : int;
   size : int;
   no_cache : bool;
+  deadline_ms : int option;
 }
 
 let default_request op =
@@ -62,7 +63,8 @@ let default_request op =
     seed = 1;
     count = 10;
     size = 4;
-    no_cache = false }
+    no_cache = false;
+    deadline_ms = None }
 
 (* --- machine resolution ---------------------------------------------------- *)
 
@@ -206,13 +208,21 @@ let request_of_json json =
           let* count = field_int "count" ~default:d.count json in
           let* size = field_int "size" ~default:d.size json in
           let* no_cache = field_bool "no_cache" ~default:false json in
+          let* deadline_ms =
+            match Json.member "deadline_ms" json with
+            | None | Some Json.Null -> Ok None
+            | Some (Json.Int i) ->
+              if i > 0 then Ok (Some i)
+              else Error "field 'deadline_ms' must be > 0"
+            | Some _ -> Error "field 'deadline_ms' must be an integer"
+          in
           if scale < 1 || scale > 3 then Error "field 'scale' must be 1..3"
           else if count < 1 then Error "field 'count' must be >= 1"
           else if size < 1 then Error "field 'size' must be >= 1"
           else
             Ok
               { id; op; program; source; scale; machines; engine; budget;
-                pipeline; seed; count; size; no_cache }))
+                pipeline; seed; count; size; no_cache; deadline_ms }))
   | _ -> Error "request must be a JSON object"
 
 let request_of_string line =
@@ -243,24 +253,39 @@ let json_of_request r =
         ("seed", Json.Int r.seed);
         ("count", Json.Int r.count);
         ("size", Json.Int r.size) ]
-    @ if r.no_cache then [ ("no_cache", Json.Bool true) ] else [])
+    @ (if r.no_cache then [ ("no_cache", Json.Bool true) ] else [])
+    @
+    match r.deadline_ms with
+    | None -> []
+    | Some ms -> [ ("deadline_ms", Json.Int ms) ])
 
 (* --- responses ------------------------------------------------------------- *)
 
-let ok_response ?id ~op ~cached result =
+let ok_response ?id ?degraded ~op ~cached result =
   Json.Obj
     ([ ("v", Json.Int version) ]
     @ (match id with None -> [] | Some id -> [ ("id", Json.String id) ])
     @ [ ("op", Json.String (op_name op));
         ("status", Json.String "ok");
-        ("cached", Json.Bool cached);
-        ("result", result) ])
+        ("cached", Json.Bool cached) ]
+    @ (match degraded with
+      | None -> []
+      | Some fidelity ->
+        [ ("degraded", Json.Bool true); ("fidelity", Json.String fidelity) ])
+    @ [ ("result", result) ])
 
-let error_response ?id msg =
+let error_response ?id ?code ?retry_after_ms msg =
   Json.Obj
     ([ ("v", Json.Int version) ]
     @ (match id with None -> [] | Some id -> [ ("id", Json.String id) ])
-    @ [ ("status", Json.String "error"); ("error", Json.String msg) ])
+    @ [ ("status", Json.String "error"); ("error", Json.String msg) ]
+    @ (match code with
+      | None -> []
+      | Some c -> [ ("code", Json.String c) ])
+    @
+    match retry_after_ms with
+    | None -> []
+    | Some ms -> [ ("retry_after_ms", Json.Int ms) ])
 
 let response_result json =
   match Json.member "status" json with
@@ -276,6 +301,26 @@ let response_result json =
 
 let response_cached json =
   match Json.member "cached" json with Some (Json.Bool b) -> b | _ -> false
+
+let response_degraded json =
+  match Json.member "degraded" json with Some (Json.Bool b) -> b | _ -> false
+
+let response_error_code json =
+  match Json.member "code" json with Some (Json.String c) -> Some c | _ -> None
+
+let response_retry_after_ms json =
+  match Json.member "retry_after_ms" json with
+  | Some (Json.Int ms) -> Some ms
+  | _ -> None
+
+(* Everything whose answer is content-addressed (or answerless, like
+   ping/metrics) can be resent without changing server state; only
+   shutdown carries one-shot intent. *)
+let idempotent req = req.op <> Shutdown
+
+let degradable = function
+  | Analyze | Predict -> true
+  | Ping | Metrics | Optimize | Simulate | Fuzz | Shutdown -> false
 
 (* --- cache keys ------------------------------------------------------------ *)
 

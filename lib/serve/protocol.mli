@@ -19,6 +19,21 @@
     A malformed or invalid request produces an error {e response} — it
     never terminates the connection, let alone the daemon.
 
+    {2 Resilience envelope}
+
+    Requests may carry a [deadline_ms] budget; the server clamps it to
+    its configured cap and answers [code:"deadline_exceeded"] when the
+    budget runs out before the result is ready.  Error responses may
+    carry a machine-readable [code] ([bad_request],
+    [deadline_exceeded], [overloaded], [shutting_down],
+    [request_too_large], [worker_crashed]) and, for [overloaded], a
+    [retry_after_ms] hint that well-behaved clients honour.  Under
+    overload the server may answer a degradable op ([analyze],
+    [predict]) from the analytic tier instead of queueing: such
+    responses gain [degraded:true] plus a [fidelity] tag and are never
+    served from or stored into the result cache, so the byte-identical
+    cache-hit guarantee only ever covers full-fidelity answers.
+
     {2 Caching}
 
     {!cache_key} names the answer, not the request text: the program
@@ -63,6 +78,11 @@ type request = {
   count : int;  (** fuzz *)
   size : int;  (** fuzz *)
   no_cache : bool;  (** bypass the result cache for this request *)
+  deadline_ms : int option;
+      (** client latency budget; the server clamps it to its cap and
+          never starts (or continues into a new tier of) work for an
+          expired request.  Not part of the cache key: the answer is the
+          same whether or not it arrived in time. *)
 }
 
 val default_request : op -> request
@@ -76,14 +96,34 @@ val request_of_string : string -> (request, string) result
 
 val json_of_request : request -> Json.t
 
-val ok_response : ?id:string -> op:op -> cached:bool -> Json.t -> Json.t
-val error_response : ?id:string -> string -> Json.t
+(** [degraded] is the fidelity tag of an under-overload analytic answer
+    (adds [degraded:true] + [fidelity] to the envelope). *)
+val ok_response :
+  ?id:string -> ?degraded:string -> op:op -> cached:bool -> Json.t -> Json.t
+
+val error_response :
+  ?id:string -> ?code:string -> ?retry_after_ms:int -> string -> Json.t
 
 (** Client-side: extract the result payload or the error message. *)
 val response_result : Json.t -> (Json.t, string) result
 
 (** Whether the server answered from its result cache. *)
 val response_cached : Json.t -> bool
+
+(** Whether the server degraded this answer to a cheaper tier. *)
+val response_degraded : Json.t -> bool
+
+(** Machine-readable error code, when the server attached one. *)
+val response_error_code : Json.t -> string option
+
+(** The [overloaded] backoff hint, when present. *)
+val response_retry_after_ms : Json.t -> int option
+
+(** Whether a request is safe to retry (everything but [shutdown]). *)
+val idempotent : request -> bool
+
+(** Ops the server may answer from the analytic tier under overload. *)
+val degradable : op -> bool
 
 (** {2 Machines} *)
 

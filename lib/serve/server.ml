@@ -16,13 +16,30 @@ type config = {
   cache_capacity : int;
   capture_capacity : int;
   verbose : bool;
+  max_queue : int;
+  degrade_queue : int;
+  default_deadline_ms : int;
+  max_deadline_ms : int;
+  idle_timeout_s : float;
+  max_request_bytes : int;
 }
 
 let default_config addr =
   { addr; jobs = None; cache_capacity = 512; capture_capacity = 32;
-    verbose = false }
+    verbose = false;
+    max_queue = 64;
+    degrade_queue = 16;
+    default_deadline_ms = 30_000;
+    max_deadline_ms = 300_000;
+    idle_timeout_s = 60.0;
+    max_request_bytes = 4 * 1024 * 1024 }
 
-type conn = { fd : Unix.file_descr; mutable busy : bool; conn_id : int }
+type conn = {
+  fd : Unix.file_descr;
+  mutable busy : bool;
+  mutable last_active : float;
+  conn_id : int;
+}
 
 type t = {
   config : config;
@@ -37,8 +54,11 @@ type t = {
   cm : Mutex.t;
   cc : Condition.t;
   conns : (int, conn) Hashtbl.t;
+  compute_inflight : int Atomic.t;
+  inflight : int Atomic.t;
   mutable next_conn : int;
   mutable accept_thread : Thread.t option;
+  mutable watchdog_thread : Thread.t option;
   started_at : float;
 }
 
@@ -50,6 +70,31 @@ let connections_c = Bw_obs.Metrics.counter "serve.connections"
 let latency_h = Bw_obs.Metrics.histogram "serve.latency_ms"
 let inflight_g = Bw_obs.Metrics.gauge "serve.inflight"
 let cache_size_g = Bw_obs.Metrics.gauge "serve.cache.size"
+let queue_depth_g = Bw_obs.Metrics.gauge "serve.queue.depth"
+let shed_c = Bw_obs.Metrics.counter "serve.queue.shed"
+let degraded_c = Bw_obs.Metrics.counter "serve.queue.degraded"
+let deadline_expired_c = Bw_obs.Metrics.counter "serve.deadline.expired"
+let watchdog_closed_c = Bw_obs.Metrics.counter "serve.watchdog.closed"
+let oversized_c = Bw_obs.Metrics.counter "serve.request.oversized"
+
+(* --- chaos sites ------------------------------------------------------------- *)
+
+let compute_delay_site = "serve.compute.delay"
+let socket_stall_site = "serve.socket.stall"
+let socket_close_site = "serve.socket.close"
+let capture_site = "serve.capture"
+
+let () =
+  Bw_obs.Fault.declare
+    ~doc:"Straggler compute: sleep inside the pool task (delay action)"
+    compute_delay_site;
+  Bw_obs.Fault.declare
+    ~doc:"Stall mid-response: write half the reply, sleep, write the rest"
+    socket_stall_site;
+  Bw_obs.Fault.declare
+    ~doc:"Drop the connection after writing half a reply" socket_close_site;
+  Bw_obs.Fault.declare ~doc:"Fail obtaining a capture for a simulate group"
+    capture_site
 
 (* --- request processing ----------------------------------------------------- *)
 
@@ -63,6 +108,7 @@ let ping_payload t =
       ("pid", Json.Int (Unix.getpid ()));
       ("uptime_seconds", Json.Float (uptime t));
       ("pool_jobs", Json.Int (Bw_exec.Pool.jobs t.pool));
+      ("queue_depth", Json.Int (max 0 (Atomic.get t.compute_inflight - Bw_exec.Pool.jobs t.pool)));
       ( "cache",
         Json.Obj
           [ ("size", Json.Int stats.Cache.size);
@@ -74,11 +120,15 @@ let ping_payload t =
           ] ) ]
 
 (* Capture the program once per (digest, engine), shared across
-   requests through the capture cache and the batcher. *)
-let replay_fn t req program machines =
+   requests through the capture cache and the batcher.  The deadline is
+   re-checked before (re)obtaining a capture so an expired request does
+   not lead a batch it cannot wait for. *)
+let replay_fn t req ~deadline program machines =
   let ckey = Protocol.capture_key req ~program in
   Batch.simulate t.batcher ~key:ckey
     ~capture:(fun () ->
+      Handle.check_deadline deadline;
+      Bw_obs.Fault.cut capture_site;
       fst
         (Cache.find_or_compute t.captures ~key:ckey (fun () ->
              Bw_exec.Run.capture ~engine:req.Protocol.engine program)))
@@ -91,41 +141,102 @@ let one_line e =
   | Some i -> String.sub s 0 i
   | None -> s
 
-let compute_op t (req : Protocol.request) =
+(* Pool tasks queued beyond what the worker domains can be running
+   right now — the backlog a new request would join. *)
+let pending_depth t =
+  max 0 (Atomic.get t.compute_inflight - Bw_exec.Pool.jobs t.pool)
+
+(* Absolute deadline instant for a request: its own budget clamped to
+   the server cap, or the server default (0 disables). *)
+let effective_deadline t (req : Protocol.request) =
+  let ms =
+    match req.Protocol.deadline_ms with
+    | Some ms -> min ms t.config.max_deadline_ms
+    | None -> t.config.default_deadline_ms
+  in
+  if ms <= 0 then None
+  else Some (Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+
+(* Crude queueing estimate for the overload hint: excess backlog times
+   a nominal per-request cost, clamped to something a client can
+   reasonably sleep. *)
+let retry_after_ms t ~depth =
+  min 5000 (max 50 (50 * (depth - t.config.max_queue + 1)))
+
+let structured_error t (req : Protocol.request) e =
+  match e with
+  | Handle.Deadline_exceeded ->
+    Bw_obs.Metrics.incr deadline_expired_c;
+    Protocol.error_response ?id:req.Protocol.id ~code:"deadline_exceeded"
+      "deadline exceeded before the result was ready"
+  | Bw_exec.Pool.Worker_crashed msg ->
+    if t.config.verbose then
+      Format.eprintf "bwc serve: worker crash surfaced to a request: %s@." msg;
+    Protocol.error_response ?id:req.Protocol.id ~code:"worker_crashed" msg
+  | e -> Protocol.error_response ?id:req.Protocol.id (one_line e)
+
+let compute_op t (req : Protocol.request) ~degrade =
   match
     if Protocol.needs_program req then
       Result.map Option.some (Protocol.load_program req)
     else Ok None
   with
-  | Error msg -> Protocol.error_response ?id:req.Protocol.id msg
+  | Error msg ->
+    Protocol.error_response ?id:req.Protocol.id ~code:"bad_request" msg
   | Ok program -> (
     match Protocol.resolve_machines req with
-    | Error msg -> Protocol.error_response ?id:req.Protocol.id msg
+    | Error msg ->
+      Protocol.error_response ?id:req.Protocol.id ~code:"bad_request" msg
     | Ok machines -> (
-      let work () =
-        Bw_exec.Pool.run t.pool (fun () ->
-            let replay =
-              match program with
-              | Some p when req.Protocol.op = Protocol.Simulate ->
-                Some (replay_fn t req p)
-              | _ -> None
-            in
-            Handle.compute ?replay req ~machines program)
-      in
-      match
-        match Protocol.cache_key req ~program with
-        | Some key when not req.Protocol.no_cache ->
-          let payload, how = Cache.find_or_compute t.results ~key work in
-          (payload, how <> `Miss)
-        | _ -> (work (), false)
-      with
-      | payload, cached ->
-        Bw_obs.Metrics.set cache_size_g
-          (float_of_int (Cache.stats t.results).Cache.size);
-        Protocol.ok_response ?id:req.Protocol.id ~op:req.Protocol.op ~cached
-          payload
-      | exception e ->
-        Protocol.error_response ?id:req.Protocol.id (one_line e)))
+      let deadline = effective_deadline t req in
+      match (degrade, program) with
+      | true, Some p -> (
+        (* Load shed, fidelity first: answer inline from the analytic
+           tier — no pool, no queue, and deliberately no cache in
+           either direction, so degraded payloads can never alias the
+           byte-identical full-fidelity cached answers. *)
+        Bw_obs.Metrics.incr degraded_c;
+        match Handle.degraded req ~machines p with
+        | payload ->
+          Protocol.ok_response ?id:req.Protocol.id ~degraded:"analytic"
+            ~op:req.Protocol.op ~cached:false payload
+        | exception e -> structured_error t req e)
+      | _ -> (
+        Atomic.incr t.compute_inflight;
+        Fun.protect
+          ~finally:(fun () -> Atomic.decr t.compute_inflight)
+        @@ fun () ->
+        let work () =
+          Bw_exec.Pool.run t.pool (fun () ->
+              (* dequeue-time enforcement: a request whose deadline
+                 passed while queued is never computed *)
+              Handle.check_deadline deadline;
+              (match Bw_obs.Fault.check compute_delay_site with
+              | Some (Bw_obs.Fault.Delay ms) -> Bw_obs.Fault.sleep_ms ms
+              | Some (Bw_obs.Fault.Raise | Bw_obs.Fault.Corrupt) ->
+                Bw_obs.Fault.sleep_ms 250
+              | None -> ());
+              let replay =
+                match program with
+                | Some p when req.Protocol.op = Protocol.Simulate ->
+                  Some (replay_fn t req ~deadline p)
+                | _ -> None
+              in
+              Handle.compute ?deadline ?replay req ~machines program)
+        in
+        match
+          match Protocol.cache_key req ~program with
+          | Some key when not req.Protocol.no_cache ->
+            let payload, how = Cache.find_or_compute t.results ~key work in
+            (payload, how <> `Miss)
+          | _ -> (work (), false)
+        with
+        | payload, cached ->
+          Bw_obs.Metrics.set cache_size_g
+            (float_of_int (Cache.stats t.results).Cache.size);
+          Protocol.ok_response ?id:req.Protocol.id ~op:req.Protocol.op ~cached
+            payload
+        | exception e -> structured_error t req e)))
 
 let initiate_shutdown t =
   if Atomic.compare_and_set t.stopping false true then begin
@@ -177,18 +288,46 @@ let respond_to_line t line =
         json_reply
           (Protocol.ok_response ?id ~op ~cached:false
              (Json.Obj [ ("draining", Json.Bool true) ]))
-      | _ -> (
-        match compute_op t req with
-        | response ->
-          (match Json.member "status" response with
-          | Some (Json.String "error") -> Bw_obs.Metrics.incr errors_c
-          | _ -> ());
-          json_reply response
-        | exception e ->
-          (* belt and braces: compute_op already confines handler
-             exceptions; this catches protocol-layer surprises *)
+      | _ ->
+        (* Admission control for compute ops, in strictness order:
+           draining servers reject; a backlog past [max_queue] sheds
+           with a retry hint; past [degrade_queue], degradable ops are
+           answered inline from the analytic tier instead of queueing;
+           otherwise normal admission. *)
+        if Atomic.get t.stopping then begin
           Bw_obs.Metrics.incr errors_c;
-          json_reply (Protocol.error_response ?id (one_line e))))
+          json_reply
+            (Protocol.error_response ?id ~code:"shutting_down"
+               "server is draining; request not admitted")
+        end
+        else begin
+          let depth = pending_depth t in
+          Bw_obs.Metrics.set queue_depth_g (float_of_int depth);
+          if depth >= t.config.max_queue then begin
+            Bw_obs.Metrics.incr shed_c;
+            Bw_obs.Metrics.incr errors_c;
+            json_reply
+              (Protocol.error_response ?id ~code:"overloaded"
+                 ~retry_after_ms:(retry_after_ms t ~depth)
+                 (Printf.sprintf "backlog %d at capacity %d" depth
+                    t.config.max_queue))
+          end
+          else
+            let degrade =
+              depth >= t.config.degrade_queue && Protocol.degradable op
+            in
+            match compute_op t req ~degrade with
+            | response ->
+              (match Json.member "status" response with
+              | Some (Json.String "error") -> Bw_obs.Metrics.incr errors_c
+              | _ -> ());
+              json_reply response
+            | exception e ->
+              (* belt and braces: compute_op already confines handler
+                 exceptions; this catches protocol-layer surprises *)
+              Bw_obs.Metrics.incr errors_c;
+              json_reply (Protocol.error_response ?id (one_line e))
+        end)
 
 (* --- connection lifecycle ---------------------------------------------------- *)
 
@@ -199,32 +338,106 @@ let unregister t conn =
   Mutex.unlock t.cm;
   (try Unix.close conn.fd with _ -> ())
 
+(* Bounded replacement for [input_line]: a single request line longer
+   than [max] bytes stops being buffered the moment it crosses the
+   limit, so one connection cannot balloon server memory.  A partial
+   line at EOF is returned like [input_line] would. *)
+let read_request_line ic ~max =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match input_char ic with
+    | exception (End_of_file | Sys_error _) ->
+      if Buffer.length buf = 0 then `Eof else `Line (Buffer.contents buf)
+    | '\n' -> `Line (Buffer.contents buf)
+    | c ->
+      if Buffer.length buf >= max then `Too_long
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+  in
+  go ()
+
+(* Write one reply, crossing the socket chaos sites: [socket.close]
+   drops the connection after half the bytes; [socket.stall] sleeps
+   mid-reply (the stall a client read timeout must survive).  Returns
+   whether the full reply was written.  The HTTP metrics scrape is
+   exempt — chaos must not blind the observability channel watching
+   it. *)
+let write_reply conn oc ~chaos_exempt reply =
+  let finish () =
+    output_char oc '\n';
+    flush oc;
+    true
+  in
+  match
+    if chaos_exempt then begin
+      output_string oc reply;
+      finish ()
+    end
+    else
+      match Bw_obs.Fault.check socket_close_site with
+      | Some _ ->
+        let half = String.length reply / 2 in
+        output_string oc (String.sub reply 0 half);
+        flush oc;
+        (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        false
+      | None -> (
+        match Bw_obs.Fault.check socket_stall_site with
+        | Some a ->
+          let ms = match a with Bw_obs.Fault.Delay ms -> ms | _ -> 250 in
+          let half = String.length reply / 2 in
+          output_string oc (String.sub reply 0 half);
+          flush oc;
+          Thread.delay (float_of_int ms /. 1000.);
+          output_string oc
+            (String.sub reply half (String.length reply - half));
+          finish ()
+        | None ->
+          output_string oc reply;
+          finish ())
+  with
+  | wrote -> wrote
+  | exception Sys_error _ -> false
+
 let conn_loop t conn =
   let ic = Unix.in_channel_of_descr conn.fd in
   let oc = Unix.out_channel_of_descr conn.fd in
   let rec go () =
-    match input_line ic with
-    | exception (End_of_file | Sys_error _) -> ()
-    | line when String.trim line = "" ->
+    match read_request_line ic ~max:t.config.max_request_bytes with
+    | `Eof -> ()
+    | `Too_long ->
+      (* the rest of the oversized line was never read: answer
+         structurally and drop the (unsynchronisable) connection *)
+      Bw_obs.Metrics.incr oversized_c;
+      Bw_obs.Metrics.incr errors_c;
+      ignore
+        (write_reply conn oc ~chaos_exempt:false
+           (Json.to_string
+              (Protocol.error_response ~code:"request_too_large"
+                 (Printf.sprintf "request line exceeds %d bytes"
+                    t.config.max_request_bytes))))
+    | `Line line when String.trim line = "" ->
+      conn.last_active <- Unix.gettimeofday ();
       if not (Atomic.get t.stopping) then go ()
-    | line -> (
+    | `Line line -> (
       conn.busy <- true;
+      conn.last_active <- Unix.gettimeofday ();
       Bw_obs.Metrics.incr requests_c;
-      Bw_obs.Metrics.set inflight_g 1.0;
+      Bw_obs.Metrics.set inflight_g
+        (float_of_int (Atomic.fetch_and_add t.inflight 1 + 1));
       let t0 = Unix.gettimeofday () in
       let reply, action = respond_to_line t line in
       let wrote =
-        match
-          output_string oc reply;
-          output_char oc '\n';
-          flush oc
-        with
-        | () -> true
-        | exception Sys_error _ -> false
+        write_reply conn oc ~chaos_exempt:(action = `Close) reply
       in
       Bw_obs.Metrics.observe latency_h
         (1e3 *. (Unix.gettimeofday () -. t0));
+      Bw_obs.Metrics.set inflight_g
+        (float_of_int (Atomic.fetch_and_add t.inflight (-1) - 1));
       conn.busy <- false;
+      conn.last_active <- Unix.gettimeofday ();
       match action with
       | `Close -> ()
       | `Keep -> if wrote && not (Atomic.get t.stopping) then go ())
@@ -234,12 +447,52 @@ let conn_loop t conn =
 
 let register_conn t fd =
   Mutex.lock t.cm;
-  let conn = { fd; busy = false; conn_id = t.next_conn } in
+  let conn =
+    { fd; busy = false; last_active = Unix.gettimeofday ();
+      conn_id = t.next_conn }
+  in
   t.next_conn <- t.next_conn + 1;
   Hashtbl.add t.conns conn.conn_id conn;
   Mutex.unlock t.cm;
   Bw_obs.Metrics.incr connections_c;
   ignore (Thread.create (fun () -> conn_loop t conn) ())
+
+(* Half-dead and slow-loris connections: a watchdog sweeps every 250 ms
+   and shuts down connections with no traffic for [idle_timeout_s]
+   while not executing a request.  The shutdown happens under [t.cm]
+   while the conn is still registered, so it cannot race a concurrent
+   [unregister]'s close and hit a recycled descriptor. *)
+let watchdog_loop t =
+  let rec go () =
+    if not (Atomic.get t.stopping) then begin
+      Thread.delay 0.25;
+      let timeout = t.config.idle_timeout_s in
+      if timeout > 0.0 then begin
+        let now = Unix.gettimeofday () in
+        Mutex.lock t.cm;
+        Hashtbl.iter
+          (fun _ c ->
+            if (not c.busy) && now -. c.last_active > timeout then begin
+              Bw_obs.Metrics.incr watchdog_closed_c;
+              if t.config.verbose then
+                Format.eprintf
+                  "bwc serve: watchdog closing idle connection #%d@."
+                  c.conn_id;
+              (* push its idle clock forward so an unregister still in
+                 flight is not counted as a second close *)
+              c.last_active <- now;
+              (* wake the blocked reader with EOF; its thread closes
+                 the descriptor on the way out *)
+              try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
+              with Unix.Unix_error _ -> ()
+            end)
+          t.conns;
+        Mutex.unlock t.cm
+      end;
+      go ()
+    end
+  in
+  go ()
 
 let accept_loop t =
   let rec go () =
@@ -288,6 +541,10 @@ let bind_listen addr =
     (fd, Tcp (host, actual_port))
 
 let start config =
+  (* A peer dropping its socket mid-write (chaos faults, crashed
+     clients) must surface as Sys_error/EPIPE, not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let listen_fd, actual_addr = bind_listen config.addr in
   let t =
     { config;
@@ -304,17 +561,22 @@ let start config =
       cm = Mutex.create ();
       cc = Condition.create ();
       conns = Hashtbl.create 32;
+      compute_inflight = Atomic.make 0;
+      inflight = Atomic.make 0;
       next_conn = 0;
       accept_thread = None;
+      watchdog_thread = None;
       started_at = Unix.gettimeofday () }
   in
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t.watchdog_thread <- Some (Thread.create (fun () -> watchdog_loop t) ());
   t
 
 let addr t = t.actual_addr
 
 let wait t =
   (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (match t.watchdog_thread with Some th -> Thread.join th | None -> ());
   (* drain: every connection thread unregisters itself when done *)
   Mutex.lock t.cm;
   while Hashtbl.length t.conns > 0 do

@@ -303,7 +303,7 @@ let test_bench_json_roundtrip () =
       outcomes
   in
   let parsed = J.parse (J.to_string doc) in
-  check (Alcotest.option Alcotest.int) "schema_version" (Some 4)
+  check (Alcotest.option Alcotest.int) "schema_version" (Some 5)
     (Option.bind (J.member "schema_version" parsed) (function
       | J.Int i -> Some i
       | _ -> None));

@@ -2,7 +2,14 @@
    protocol's validation and cache keying, the simulate batcher, and a
    real in-process daemon exercised over TCP — byte-identical cache
    hits, zero engine work on repeats, malformed requests that never
-   kill the connection, graceful drain, and the load generator. *)
+   kill the connection, graceful drain, and the load generator.
+
+   The resilience layer is tested with armed faults: worker-domain
+   crashes heal, deadlines expire into structured errors, overload
+   degrades then sheds, the watchdog reaps idle connections, a crashing
+   batch leader never strands its followers, a drain under load still
+   answers everything admitted, and the chaos load run ends with zero
+   unanswered requests. *)
 
 let check = Alcotest.check
 let bool = Alcotest.bool
@@ -14,7 +21,21 @@ module Cache = Bw_serve.Cache
 module Protocol = Bw_serve.Protocol
 module Server = Bw_serve.Server
 module Client = Bw_serve.Client
+module Loadgen = Bw_serve.Loadgen
 module Metrics = Bw_obs.Metrics
+module Fault = Bw_obs.Fault
+module Pool = Bw_exec.Pool
+
+let counter name = Metrics.counter_value (Metrics.counter name)
+
+(* The fault registry and its hit counters are process-global — every
+   server in this binary crosses the pool and socket sites — so zero
+   them before arming (Nth policies compare against the absolute count)
+   and disarm whatever happens. *)
+let with_faults arm_fn f =
+  Fault.reset ();
+  arm_fn ();
+  Fun.protect ~finally:Fault.reset f
 
 (* --- cache ------------------------------------------------------------------ *)
 
@@ -240,11 +261,12 @@ let test_batch_groups_concurrent_requests () =
 
 (* --- the daemon, over TCP ---------------------------------------------------- *)
 
-let with_server f =
+let with_server ?(tweak = fun c -> c) f =
   let config =
-    { (Server.default_config (Server.Tcp ("127.0.0.1", 0))) with
-      Server.jobs = Some 2;
-      cache_capacity = 64 }
+    tweak
+      { (Server.default_config (Server.Tcp ("127.0.0.1", 0))) with
+        Server.jobs = Some 2;
+        cache_capacity = 64 }
   in
   let server = Server.start config in
   Fun.protect
@@ -365,16 +387,448 @@ let test_server_drains_on_shutdown () =
 let test_loadgen_against_live_server () =
   with_server (fun addr ->
       let spec =
-        { (Bw_serve.Loadgen.default_spec addr) with
-          Bw_serve.Loadgen.clients = 2;
+        { (Loadgen.default_spec addr) with
+          Loadgen.clients = 2;
           requests = 60;
           seed = 3 }
       in
-      let stats = Bw_serve.Loadgen.run spec in
-      check int "every request answered" 60 stats.Bw_serve.Loadgen.requests;
-      check int "no errors" 0 stats.Bw_serve.Loadgen.errors;
+      let stats = Loadgen.run spec in
+      check int "every request answered" 60 stats.Loadgen.requests;
+      check int "no errors" 0 stats.Loadgen.errors;
+      check int "no transport failures" 0 stats.Loadgen.failed;
+      check int "outcome counts are a partition" 60
+        (stats.Loadgen.ok + stats.Loadgen.degraded + stats.Loadgen.errors);
       check bool "the mixed stream hits the cache" true
-        (stats.Bw_serve.Loadgen.hit_rate > 0.1))
+        (stats.Loadgen.hit_rate > 0.1);
+      (* the stats JSON carries the v5 per-outcome fields *)
+      let doc = Json.to_string (Loadgen.json_of_stats stats) in
+      let contains needle =
+        let n = String.length needle and len = String.length doc in
+        let rec go i =
+          i + n <= len && (String.sub doc i n = needle || go (i + 1))
+        in
+        go 0
+      in
+      List.iter
+        (fun field ->
+          check bool ("stats JSON has " ^ field) true
+            (contains (Printf.sprintf "\"%s\":" field)))
+        [ "ok"; "degraded"; "rejected"; "shed"; "failed"; "retried";
+          "outcomes" ])
+
+(* --- resilience: faults, deadlines, overload, drain -------------------------- *)
+
+let test_fault_delay_action_parses () =
+  Fun.protect
+    ~finally:Fault.reset
+    (fun () ->
+      (match Fault.arm_spec "serve.compute.delay=delay:120@every:3" with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
+      check bool "site armed" true
+        (List.mem_assoc "serve.compute.delay" (Fault.armed ()));
+      match Fault.arm_spec "serve.compute.delay=delay:0" with
+      | Ok () -> Alcotest.fail "accepted a zero-millisecond delay"
+      | Error _ -> ())
+
+let test_protocol_resilience_envelope () =
+  let req =
+    { (Protocol.default_request Protocol.Analyze) with
+      Protocol.program = Some "read_loop";
+      deadline_ms = Some 1500 }
+  in
+  (match Protocol.request_of_json (Protocol.json_of_request req) with
+  | Ok req' -> check bool "deadline_ms round-trips" true (req = req')
+  | Error msg -> Alcotest.fail msg);
+  (match
+     Protocol.request_of_string "{\"v\":1,\"op\":\"ping\",\"deadline_ms\":0}"
+   with
+  | Ok _ -> Alcotest.fail "accepted a non-positive deadline"
+  | Error _ -> ());
+  let err =
+    Protocol.error_response ~code:"overloaded" ~retry_after_ms:120 "busy"
+  in
+  check (Alcotest.option string) "error code survives" (Some "overloaded")
+    (Protocol.response_error_code err);
+  check (Alcotest.option int) "retry hint survives" (Some 120)
+    (Protocol.response_retry_after_ms err);
+  check bool "errors are not degraded" false (Protocol.response_degraded err);
+  let ok =
+    Protocol.ok_response ~degraded:"analytic" ~op:Protocol.Predict
+      ~cached:false (Json.Obj [])
+  in
+  check bool "degraded tag readable" true (Protocol.response_degraded ok);
+  check bool "analyze is idempotent" true (Protocol.idempotent req);
+  check bool "shutdown is not" false
+    (Protocol.idempotent (Protocol.default_request Protocol.Shutdown));
+  check bool "predict is degradable" true (Protocol.degradable Protocol.Predict);
+  check bool "simulate is not" false (Protocol.degradable Protocol.Simulate)
+
+let test_pool_worker_crash_heals () =
+  with_faults
+    (fun () -> Fault.arm "pool.worker.crash" Fault.Raise (Fault.Nth 1))
+    (fun () ->
+      let before = counter "pool.worker.respawns" in
+      let pool = Pool.create ~jobs:2 () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          (* the first task claim kills its worker domain: only that
+             task's future fails, and a replacement is spawned *)
+          let doomed = Pool.submit pool (fun () -> 1) in
+          (match Pool.await doomed with
+          | Error (Pool.Worker_crashed _) -> ()
+          | Error e ->
+            Alcotest.fail
+              ("expected Worker_crashed, got " ^ Printexc.to_string e)
+          | Ok _ -> Alcotest.fail "task should have died with its worker");
+          let futures =
+            List.init 8 (fun i -> Pool.submit pool (fun () -> i * i))
+          in
+          List.iteri
+            (fun i fut ->
+              check int "healed pool still computes" (i * i)
+                (Pool.await_exn fut))
+            futures;
+          check bool "respawn counted" true
+            (counter "pool.worker.respawns" > before)))
+
+let test_server_deadline_enforced () =
+  with_server (fun addr ->
+      with_faults
+        (fun () ->
+          Fault.arm "serve.compute.delay" (Fault.Delay 300) (Fault.Every 1))
+        (fun () ->
+          let before = counter "serve.deadline.expired" in
+          let req =
+            { (Protocol.default_request Protocol.Analyze) with
+              Protocol.program = Some "read_loop";
+              deadline_ms = Some 50 }
+          in
+          let r = Result.get_ok (Client.one_shot addr req) in
+          (match Protocol.response_result r with
+          | Ok _ ->
+            Alcotest.fail "a 50 ms budget survived a 300 ms straggler"
+          | Error _ ->
+            check (Alcotest.option string) "structured code"
+              (Some "deadline_exceeded")
+              (Protocol.response_error_code r));
+          check bool "expiry counted" true
+            (counter "serve.deadline.expired" > before);
+          (* the timed-out attempt never reached the cache: without the
+             straggler the same work computes fresh, as a miss *)
+          Fault.reset ();
+          let r2 =
+            Result.get_ok
+              (Client.one_shot addr { req with Protocol.deadline_ms = None })
+          in
+          check bool "recovers" true
+            (Result.is_ok (Protocol.response_result r2));
+          check bool "the expired attempt was not cached" false
+            (Protocol.response_cached r2)))
+
+let test_server_degrades_then_sheds () =
+  with_server
+    ~tweak:(fun c ->
+      { c with Server.jobs = Some 1; degrade_queue = 1; max_queue = 2 })
+    (fun addr ->
+      with_faults
+        (fun () ->
+          Fault.arm "serve.compute.delay" (Fault.Delay 600) (Fault.Every 1))
+        (fun () ->
+          let d0 = counter "serve.queue.degraded" in
+          let s0 = counter "serve.queue.shed" in
+          let blocker =
+            (* optimize is NOT degradable: each occupies the pool *)
+            { (Protocol.default_request Protocol.Optimize) with
+              Protocol.program = Some "read_loop";
+              machines = [ "origin2000" ];
+              no_cache = true }
+          in
+          let spawn_blocker delay =
+            Thread.create
+              (fun () ->
+                Thread.delay delay;
+                ignore (Client.one_shot addr blocker))
+              ()
+          in
+          let predict =
+            { (Protocol.default_request Protocol.Predict) with
+              Protocol.program = Some "read_loop";
+              machines = [ "origin2000" ] }
+          in
+          (* two blockers on a one-worker pool: backlog 1, the degrade
+             band — a degradable op answers inline from the analytic
+             tier instead of queueing *)
+          let t1 = spawn_blocker 0.0 in
+          let t2 = spawn_blocker 0.06 in
+          Thread.delay 0.2;
+          let r = Result.get_ok (Client.one_shot addr predict) in
+          check bool "degraded answer is an answer" true
+            (Result.is_ok (Protocol.response_result r));
+          check bool "tagged degraded" true (Protocol.response_degraded r);
+          check bool "degraded never claims the cache" false
+            (Protocol.response_cached r);
+          check bool "degrade counted" true
+            (counter "serve.queue.degraded" > d0);
+          (* a third blocker fills the queue: backlog 2 = max_queue, so
+             the next compute op of any kind is shed with a retry hint *)
+          let t3 = spawn_blocker 0.0 in
+          Thread.delay 0.15;
+          let analyze =
+            { (Protocol.default_request Protocol.Analyze) with
+              Protocol.program = Some "read_loop" }
+          in
+          let r2 = Result.get_ok (Client.one_shot addr analyze) in
+          (match Protocol.response_result r2 with
+          | Ok _ -> Alcotest.fail "request admitted past max_queue"
+          | Error _ ->
+            check (Alcotest.option string) "structured code"
+              (Some "overloaded")
+              (Protocol.response_error_code r2));
+          (match Protocol.response_retry_after_ms r2 with
+          | Some ms -> check bool "positive retry hint" true (ms >= 50)
+          | None -> Alcotest.fail "overloaded without a retry hint");
+          check bool "shed counted" true (counter "serve.queue.shed" > s0);
+          (* disarm the straggler so the backlog clears quickly *)
+          Fault.reset ();
+          List.iter Thread.join [ t1; t2; t3 ];
+          (* the degraded answer never touched the result cache: the
+             same predict at full fidelity is a miss, not a poisoned
+             hit *)
+          let r3 = Result.get_ok (Client.one_shot addr predict) in
+          check bool "full fidelity once the storm passes" false
+            (Protocol.response_degraded r3);
+          check bool "degraded reply was not cached" false
+            (Protocol.response_cached r3)))
+
+let test_server_rejects_oversized_requests () =
+  with_server
+    ~tweak:(fun c -> { c with Server.max_request_bytes = 2048 })
+    (fun addr ->
+      let before = counter "serve.request.oversized" in
+      let client = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let big = String.make 4096 'x' in
+          let r = Result.get_ok (Client.request_raw client big) in
+          (match Protocol.response_result r with
+          | Ok _ -> Alcotest.fail "accepted an oversized request line"
+          | Error _ ->
+            check (Alcotest.option string) "structured code"
+              (Some "request_too_large")
+              (Protocol.response_error_code r));
+          check bool "oversize counted" true
+            (counter "serve.request.oversized" > before);
+          (* the rest of the line was never read, so the connection is
+             unsynchronisable and must be dropped *)
+          match
+            Client.request client (Protocol.default_request Protocol.Ping)
+          with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "connection survived an oversized line"))
+
+let test_server_watchdog_reaps_idle_connections () =
+  with_server
+    ~tweak:(fun c -> { c with Server.idle_timeout_s = 0.4 })
+    (fun addr ->
+      let before = counter "serve.watchdog.closed" in
+      let client = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let r =
+            Result.get_ok
+              (Client.request client (Protocol.default_request Protocol.Ping))
+          in
+          check bool "alive before idling" true
+            (Result.is_ok (Protocol.response_result r));
+          (* go idle past the timeout: the watchdog shuts the half-dead
+             connection down *)
+          Thread.delay 1.2;
+          (match
+             Client.request client (Protocol.default_request Protocol.Ping)
+           with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "idle connection survived the watchdog");
+          check bool "close counted" true
+            (counter "serve.watchdog.closed" > before);
+          (* the server itself is unaffected *)
+          let c2 = Client.connect addr in
+          Fun.protect
+            ~finally:(fun () -> Client.close c2)
+            (fun () ->
+              let r2 =
+                Result.get_ok
+                  (Client.request c2 (Protocol.default_request Protocol.Ping))
+              in
+              check bool "fresh connections served" true
+                (Result.is_ok (Protocol.response_result r2)))))
+
+let test_batch_orphans_survive_leader_crash () =
+  with_faults
+    (fun () -> Fault.arm "serve.capture" Fault.Raise (Fault.Nth 1))
+    (fun () ->
+      let orphaned_before = counter "serve.batch.orphaned" in
+      let batcher = Bw_serve.Batch.create ~jobs:1 () in
+      let p = Bw_workloads.Simple_example.read_loop ~n:200 in
+      let machine = Bw_machine.Machine.origin2000 in
+      let arrived = Atomic.make 0 in
+      let attempts = Atomic.make 0 in
+      let capture () =
+        Atomic.incr attempts;
+        (* hold the group open until every thread has joined, so the
+           leader's crash strands the maximum number of followers *)
+        while Atomic.get arrived < 4 do
+          Thread.delay 0.01
+        done;
+        Bw_obs.Fault.cut "serve.capture";
+        Bw_exec.Run.capture p
+      in
+      let outcomes = Array.make 4 `Pending in
+      let threads =
+        Array.init 4 (fun i ->
+            Thread.create
+              (fun () ->
+                Atomic.incr arrived;
+                match
+                  Bw_serve.Batch.simulate batcher ~key:"k" ~capture [ machine ]
+                with
+                | results -> outcomes.(i) <- `Ok results
+                | exception e -> outcomes.(i) <- `Failed e)
+              ())
+      in
+      Array.iter Thread.join threads;
+      let failed =
+        Array.fold_left
+          (fun acc o -> match o with `Failed _ -> acc + 1 | _ -> acc)
+          0 outcomes
+      in
+      check int "exactly the leader failed" 1 failed;
+      Array.iter
+        (function
+          | `Ok [ r ] ->
+            check bool "follower result = direct simulation" true
+              (Bw_exec.Run.equal_result r (Bw_exec.Run.simulate ~machine p))
+          | `Ok _ -> Alcotest.fail "one machine, one result"
+          | `Failed e ->
+            check bool "leader saw the injected fault" true
+              (match e with Fault.Injected _ -> true | _ -> false)
+          | `Pending -> Alcotest.fail "a follower never returned")
+        outcomes;
+      check bool "followers re-ran the capture" true
+        (Atomic.get attempts >= 2);
+      check bool "orphans counted" true
+        (counter "serve.batch.orphaned" > orphaned_before))
+
+let test_server_shutdown_under_load () =
+  with_faults
+    (fun () ->
+      Fault.arm "serve.compute.delay" (Fault.Delay 200) (Fault.Every 1))
+    (fun () ->
+      let config =
+        { (Server.default_config (Server.Tcp ("127.0.0.1", 0))) with
+          Server.jobs = Some 1;
+          cache_capacity = 64 }
+      in
+      let server = Server.start config in
+      let addr = Server.addr server in
+      let replies = Array.make 5 None in
+      let threads =
+        Array.init 5 (fun i ->
+            Thread.create
+              (fun () ->
+                let req =
+                  { (Protocol.default_request Protocol.Optimize) with
+                    Protocol.program = Some "read_loop";
+                    machines = [ "origin2000" ];
+                    no_cache = true }
+                in
+                replies.(i) <- Some (Client.one_shot addr req))
+              ())
+      in
+      (* every request is admitted and queued behind the straggler
+         before the drain starts: admitted work must still complete *)
+      Thread.delay 0.15;
+      Server.request_shutdown server;
+      Server.wait server;
+      Array.iter Thread.join threads;
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Some (Ok reply) ->
+            check bool
+              (Printf.sprintf "request %d completed through the drain" i)
+              true
+              (Result.is_ok (Protocol.response_result reply))
+          | Some (Error msg) -> Alcotest.fail msg
+          | None -> Alcotest.fail "a client never returned")
+        replies)
+
+let test_resilient_client_survives_dropped_replies () =
+  with_server (fun addr ->
+      with_faults
+        (fun () ->
+          Fault.arm "serve.socket.close" Fault.Raise (Fault.Every 3))
+        (fun () ->
+          let cfg =
+            { Client.default_retry_config with
+              Client.timeout_s = 2.0;
+              max_retries = 4 }
+          in
+          let rc = Client.resilient ~cfg ~seed:7 addr in
+          Fun.protect
+            ~finally:(fun () -> Client.resilient_close rc)
+            (fun () ->
+              let req =
+                { (Protocol.default_request Protocol.Analyze) with
+                  Protocol.program = Some "read_loop" }
+              in
+              (* every third reply is chopped mid-write and the
+                 connection dropped; the resilient client reconnects
+                 and retries until it has a whole answer *)
+              for i = 1 to 10 do
+                let r = Result.get_ok (Client.resilient_request rc req) in
+                check bool
+                  (Printf.sprintf "request %d answered" i)
+                  true
+                  (Result.is_ok (Protocol.response_result r))
+              done;
+              check bool "retries were needed" true
+                (Client.retry_count rc > 0))))
+
+let test_chaos_load_run_is_clean () =
+  with_server
+    ~tweak:(fun c ->
+      { c with Server.jobs = Some 2; degrade_queue = 4; max_queue = 8 })
+    (fun addr ->
+      with_faults
+        (fun () ->
+          Fault.arm "pool.worker.crash" Fault.Raise (Fault.Every 7);
+          Fault.arm "serve.compute.delay" (Fault.Delay 100) (Fault.Every 5);
+          Fault.arm "serve.socket.stall" (Fault.Delay 150) (Fault.Every 9);
+          Fault.arm "serve.socket.close" Fault.Raise (Fault.Every 11))
+        (fun () ->
+          let respawns_before = counter "pool.worker.respawns" in
+          let spec =
+            { (Loadgen.default_spec addr) with
+              Loadgen.clients = 2;
+              requests = 80;
+              seed = 11;
+              chaos = true;
+              timeout_s = 5.0;
+              retries = 4 }
+          in
+          let stats = Loadgen.run spec in
+          check int "every request accounted for" 80 stats.Loadgen.requests;
+          (* THE chaos pass criterion: answered or cleanly rejected,
+             nothing hung, nothing unexplained *)
+          check int "zero unanswered requests" 0 stats.Loadgen.failed;
+          check bool "most requests fully answered" true
+            (stats.Loadgen.ok + stats.Loadgen.degraded >= 40);
+          check bool "the storm actually killed workers" true
+            (counter "pool.worker.respawns" > respawns_before)))
 
 let suites =
   [ ( "serve.cache",
@@ -390,13 +844,17 @@ let suites =
           test_protocol_rejects_garbage;
         Alcotest.test_case "request round-trips through JSON" `Quick
           test_protocol_roundtrip;
+        Alcotest.test_case "resilience envelope round-trips" `Quick
+          test_protocol_resilience_envelope;
         Alcotest.test_case "distinct configs never collide" `Quick
           test_cache_keys_never_collide;
         Alcotest.test_case "key is content-addressed" `Quick
           test_cache_key_is_content_addressed ] );
     ( "serve.batch",
       [ Alcotest.test_case "groups concurrent simulate requests" `Quick
-          test_batch_groups_concurrent_requests ] );
+          test_batch_groups_concurrent_requests;
+        Alcotest.test_case "a crashing leader never strands followers" `Quick
+          test_batch_orphans_survive_leader_crash ] );
     ( "serve.daemon",
       [ Alcotest.test_case "cache hit is byte-identical" `Quick
           test_server_hit_is_byte_identical;
@@ -409,4 +867,23 @@ let suites =
         Alcotest.test_case "drains on shutdown" `Quick
           test_server_drains_on_shutdown;
         Alcotest.test_case "load generator: no errors, cache hits" `Quick
-          test_loadgen_against_live_server ] ) ]
+          test_loadgen_against_live_server ] );
+    ( "serve.resilience",
+      [ Alcotest.test_case "delay fault action parses" `Quick
+          test_fault_delay_action_parses;
+        Alcotest.test_case "worker crash heals the pool" `Quick
+          test_pool_worker_crash_heals;
+        Alcotest.test_case "deadlines expire into structured errors" `Quick
+          test_server_deadline_enforced;
+        Alcotest.test_case "overload degrades, then sheds" `Quick
+          test_server_degrades_then_sheds;
+        Alcotest.test_case "oversized request lines are bounded" `Quick
+          test_server_rejects_oversized_requests;
+        Alcotest.test_case "watchdog reaps idle connections" `Quick
+          test_server_watchdog_reaps_idle_connections;
+        Alcotest.test_case "shutdown under load answers everything" `Quick
+          test_server_shutdown_under_load;
+        Alcotest.test_case "resilient client survives dropped replies" `Quick
+          test_resilient_client_survives_dropped_replies;
+        Alcotest.test_case "chaos load run: zero unanswered" `Quick
+          test_chaos_load_run_is_clean ] ) ]
