@@ -3,11 +3,21 @@
    Subcommands:
      bwc list                      catalogue of built-in workloads
      bwc show <prog>               pretty-print a workload or .bw source file
+     bwc parse <file>              parse a .bw file with line:column errors
+                                   (--check: report only, print nothing)
+     bwc fmt <file>                canonical formatting of a .bw file
+                                   (--write rewrites in place; --check exits 1
+                                   when the file is not canonical)
+     bwc corpus [dir]              run the golden-file corpus: parse every
+                                   *.bw, render its golden artifact and diff
+                                   against the committed *.golden
+                                   (--promote regenerates the goldens)
      bwc analyze <prog>            balance, predicted time, bottleneck
      bwc optimize <prog>           run the fusion/storage/store-elimination
                                    pipeline and report before/after
                                    (--trace FILE writes a Chrome trace with
-                                   one span per pass; --validate[=N] checks
+                                   one span per pass; --layout follows with
+                                   the data-layout pass; --validate[=N] checks
                                    each stage differentially on both engines;
                                    --no-rollback fails fast; --fuel N bounds
                                    the pipeline's step budget; --faults SPEC
@@ -29,7 +39,9 @@
      bwc fuzz                      differentially fuzz the optimizer pipeline
                                    (--seed/--count/--size drive Qa.Gen;
                                    --minimize delta-debugs the first failure
-                                   and writes the reproducer to --out)
+                                   and writes the reproducer to --out;
+                                   --corpus DIR also records it as a golden
+                                   corpus entry)
      bwc lint <prog>|--registry    statically check dependence preservation
                                    across the pipeline (Qa.Lint)
      bwc faults                    list the registered fault-injection sites
@@ -44,11 +56,22 @@
 
 open Cmdliner
 
+(* The -rp variants place array pages at pseudo-random physical
+   addresses (a fixed seed keeps them reproducible), defeating the
+   page-colouring assumption behind the contiguous models — the setting
+   where data-layout rewrites earn their keep. *)
+let random_pages (m : Bw_machine.Machine.t) suffix =
+  { m with
+    Bw_machine.Machine.name = m.Bw_machine.Machine.name ^ suffix;
+    paging = Bw_machine.Machine.Random_pages { page_bytes = 4096; seed = 1 } }
+
 let machines =
   [ ("origin2000", Bw_machine.Machine.origin2000);
     ("exemplar", Bw_machine.Machine.exemplar);
     ("origin-scaled", Bw_core.Experiments.origin_scaled);
-    ("unconstrained", Bw_machine.Machine.unconstrained) ]
+    ("unconstrained", Bw_machine.Machine.unconstrained);
+    ("origin-rp", random_pages Bw_machine.Machine.origin2000 "-rp");
+    ("exemplar-rp", random_pages Bw_machine.Machine.exemplar "-rp") ]
 
 let machine_conv =
   let parse s =
@@ -70,7 +93,10 @@ let machine_arg =
     value
     & opt machine_conv Bw_machine.Machine.origin2000
     & info [ "m"; "machine" ] ~docv:"MACHINE"
-        ~doc:"Machine model: origin2000, exemplar, origin-scaled or unconstrained.")
+        ~doc:
+          "Machine model: origin2000, exemplar, origin-scaled, \
+           unconstrained, or the random-page-placement variants origin-rp \
+           and exemplar-rp.")
 
 let scale_arg =
   Arg.(
@@ -126,6 +152,173 @@ let show_cmd =
   in
   Cmd.v (Cmd.info "show" ~doc:"Pretty-print a program")
     Term.(const run $ program_arg $ scale_arg)
+
+(* --- parse / fmt ----------------------------------------------------------- *)
+
+let bw_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:".bw source file.")
+
+let check_flag ~doc = Arg.(value & flag & info [ "check" ] ~doc)
+
+let parse_cmd =
+  let run file check =
+    let p = or_die (Bw_lang.Parse.parse_file file) in
+    if not check then Format.printf "%a@." Bw_ir.Pretty.pp_program p
+  in
+  Cmd.v
+    (Cmd.info "parse"
+       ~doc:
+         "Parse a .bw source file with the position-tracking front end and \
+          print its canonical form.  Every diagnostic is one line, \
+          FILE:LINE:COL: message, exit code 1.")
+    Term.(
+      const run $ bw_file_arg
+      $ check_flag ~doc:"Only check the file; print nothing on success.")
+
+let fmt_cmd =
+  let run file check write =
+    let p = or_die (Bw_lang.Parse.parse_file file) in
+    let canonical = Bw_ir.Pretty.program_to_string p in
+    let current =
+      match Bw_core.Loader.read_file file with
+      | Ok s -> s
+      | Error msg -> or_die (Error msg)
+    in
+    if check then begin
+      if String.trim current <> String.trim canonical then begin
+        Format.eprintf "bwc: %s is not canonically formatted@." file;
+        exit 1
+      end
+    end
+    else if write then begin
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc canonical)
+    end
+    else print_string canonical
+  in
+  let write_flag =
+    Arg.(value & flag & info [ "w"; "write" ] ~doc:"Rewrite the file in place.")
+  in
+  Cmd.v
+    (Cmd.info "fmt"
+       ~doc:
+         "Canonically format a .bw source file (the same rendering the \
+          pretty-printer round-trips through the parser).")
+    Term.(
+      const run $ bw_file_arg
+      $ check_flag ~doc:"Exit 1 if the file differs from its canonical form."
+      $ write_flag)
+
+(* --- corpus ---------------------------------------------------------------- *)
+
+let corpus_cmd =
+  let run dir promote filter =
+    let entries =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".bw")
+      |> List.filter (fun f ->
+             match filter with
+             | None -> true
+             | Some sub ->
+               let rec has i =
+                 i + String.length sub <= String.length f
+                 && (String.sub f i (String.length sub) = sub || has (i + 1))
+               in
+               has 0)
+      |> List.sort compare
+    in
+    if entries = [] then begin
+      Format.eprintf "bwc: no .bw files under %s@." dir;
+      exit 1
+    end;
+    let failures = ref 0 and promoted = ref 0 in
+    List.iter
+      (fun f ->
+        let bw = Filename.concat dir f in
+        let golden = Bw_lang.Golden.golden_path bw in
+        match Bw_lang.Parse.parse_file bw with
+        | Error msg ->
+          incr failures;
+          Format.printf "FAIL %s: %s@." bw msg
+        | Ok p ->
+          let want = Bw_lang.Golden.render p in
+          let got =
+            if Sys.file_exists golden then Bw_core.Loader.read_file golden
+            else Error "missing golden"
+          in
+          if promote then begin
+            match got with
+            | Ok g when g = want -> Format.printf "ok   %s@." bw
+            | _ ->
+              let oc = open_out golden in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () -> output_string oc want);
+              incr promoted;
+              Format.printf "new  %s@." golden
+          end
+          else begin
+            match got with
+            | Error msg ->
+              incr failures;
+              Format.printf "FAIL %s: %s (run bwc corpus --promote)@." bw msg
+            | Ok g when g = want -> Format.printf "ok   %s@." bw
+            | Ok g ->
+              incr failures;
+              (match Bw_lang.Golden.first_diff g want with
+              | Some (n, committed, fresh) ->
+                Format.printf
+                  "FAIL %s: golden drift at %s:%d@.  committed: %s@.  \
+                   rendered:  %s@."
+                  bw golden n committed fresh
+              | None -> Format.printf "FAIL %s: golden drift@." bw)
+          end)
+      entries;
+    if promote then
+      Format.printf "corpus: %d entr%s, %d golden(s) rewritten@."
+        (List.length entries)
+        (if List.length entries = 1 then "y" else "ies")
+        !promoted
+    else
+      Format.printf "corpus: %d entr%s, %d failure(s)@." (List.length entries)
+        (if List.length entries = 1 then "y" else "ies")
+        !failures;
+    if !failures > 0 then exit 1
+  in
+  let dir_arg =
+    Arg.(
+      value & pos 0 dir "corpus"
+      & info [] ~docv:"DIR" ~doc:"Corpus directory (default ./corpus).")
+  in
+  let promote_flag =
+    Arg.(
+      value & flag
+      & info [ "promote" ]
+          ~doc:
+            "Regenerate every stale or missing .golden from the current \
+             toolchain instead of failing; rendering is deterministic, so \
+             an unchanged toolchain rewrites nothing.")
+  in
+  let filter_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "filter" ] ~docv:"SUBSTRING"
+          ~doc:"Only run corpus entries whose file name contains $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:
+         "Golden-file harness over the .bw corpus: parse each source, \
+          render its parse/check/analysis artifact and compare against the \
+          committed golden, reporting the first drifting line.  Exit 1 on \
+          any drift, parse failure or missing golden.")
+    Term.(const run $ dir_arg $ promote_flag $ filter_arg)
 
 (* --- analyze -------------------------------------------------------------- *)
 
@@ -186,8 +379,8 @@ let arm_faults_or_die ~what = function
       exit 1)
 
 let optimize_cmd =
-  let run name scale machine print_program trace_out validate lint no_rollback
-      fuel faults =
+  let run name scale machine print_program layout trace_out validate lint
+      no_rollback fuel faults =
     arm_faults_or_die ~what:"--faults" faults;
     let p = or_die (load_program ~scale name) in
     let guard =
@@ -214,6 +407,28 @@ let optimize_cmd =
         Format.eprintf "bwc: optimization aborted by the guard:@.%a@."
           Bw_transform.Guard.pp_report events;
         exit 2
+    in
+    (* the data-layout pass runs after the loop pipeline (inside its own
+       guarded stage) so its candidate analysis sees the final nests *)
+    let p', events =
+      if not layout then (p', events)
+      else begin
+        let g = Bw_transform.Guard.create guard in
+        let p', actions =
+          Bw_transform.Guard.stage g ~name:"layout" ~default:[]
+            (fun q -> Bw_transform.Layout.run ~machine q)
+            p'
+        in
+        (match actions with
+        | [] -> Format.printf "layout: no profitable rewrite@."
+        | actions ->
+          List.iter
+            (fun a ->
+              Format.printf "layout: %s@."
+                (Bw_transform.Layout.action_to_string a))
+            actions);
+        (p', events @ Bw_transform.Guard.events g)
+      end
     in
     Format.printf "%a@.@." Bw_transform.Strategy.pp_report report;
     let rolled_back =
@@ -247,6 +462,17 @@ let optimize_cmd =
   in
   let print_flag =
     Arg.(value & flag & info [ "p"; "print" ] ~doc:"Print the transformed program.")
+  in
+  let layout_flag =
+    Arg.(
+      value & flag
+      & info [ "layout" ]
+          ~doc:
+            "After the loop pipeline, run the data-layout pass (array \
+             padding, interleaving, AoS-to-SoA splitting, read-only \
+             transposition) as a guarded stage, keeping only rewrites the \
+             analytic evaluator prices as a memory-traffic win on \
+             $(b,--machine).")
   in
   let validate_arg =
     Arg.(
@@ -302,8 +528,8 @@ let optimize_cmd =
        ~doc:"Apply the bandwidth-reduction pipeline and compare")
     Term.(
       const run $ program_arg $ scale_arg $ machine_arg $ print_flag
-      $ trace_arg $ validate_arg $ lint_flag $ no_rollback_flag $ fuel_arg
-      $ faults_arg)
+      $ layout_flag $ trace_arg $ validate_arg $ lint_flag $ no_rollback_flag
+      $ fuel_arg $ faults_arg)
 
 (* --- profile ---------------------------------------------------------------- *)
 
@@ -393,7 +619,7 @@ let validate_json_cmd =
 (* --- fuzz ------------------------------------------------------------------ *)
 
 let fuzz_cmd =
-  let run seed count size minimize out trace_out faults =
+  let run seed count size minimize out corpus trace_out faults =
     arm_faults_or_die ~what:"--faults" faults;
     if count < 1 then begin
       Format.eprintf "bwc: --count must be >= 1@.";
@@ -436,13 +662,24 @@ let fuzz_cmd =
           small
         end
       in
-      let oc = open_out out in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () ->
-          let ppf = Format.formatter_of_out_channel oc in
-          Format.fprintf ppf "%a@." Bw_ir.Pretty.pp_program repro);
+      let write path s =
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc s)
+      in
+      write out (Bw_ir.Pretty.program_to_string repro);
       Format.eprintf "wrote reproducer to %s@." out;
+      (match corpus with
+      | None -> ()
+      | Some dir ->
+        (* keep the reproducer as a permanent corpus entry: canonical
+           source plus its golden, so the regression is pinned by the
+           golden harness from now on *)
+        let bw = Filename.concat dir (Printf.sprintf "fuzz_%d.bw" bad_seed) in
+        write bw (Bw_ir.Pretty.program_to_string repro);
+        write (Bw_lang.Golden.golden_path bw) (Bw_lang.Golden.render repro);
+        Format.eprintf "added corpus entry %s (and its .golden)@." bw);
       exit 2
   in
   let seed_arg =
@@ -473,6 +710,16 @@ let fuzz_cmd =
       & info [ "o"; "out" ] ~docv:"FILE"
           ~doc:"Where to write the (pretty-printed) counterexample program.")
   in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Also emit the (minimized) counterexample as a corpus entry: \
+             $(docv)/fuzz_<seed>.bw plus its rendered .golden, ready to \
+             commit so the golden harness pins the regression.")
+  in
   let faults_arg =
     Arg.(
       value
@@ -493,7 +740,7 @@ let fuzz_cmd =
           counterexample, written to --out (minimized when --minimize).")
     Term.(
       const run $ seed_arg $ count_arg $ size_arg $ minimize_flag $ out_arg
-      $ trace_arg $ faults_arg)
+      $ corpus_arg $ trace_arg $ faults_arg)
 
 (* --- lint ------------------------------------------------------------------- *)
 
@@ -1258,7 +1505,8 @@ let () =
   in
   let group =
     Cmd.group ~default info
-      [ list_cmd; show_cmd; analyze_cmd; optimize_cmd; profile_cmd; fuse_cmd;
+      [ list_cmd; show_cmd; parse_cmd; fmt_cmd; corpus_cmd; analyze_cmd;
+        optimize_cmd; profile_cmd; fuse_cmd;
         advise_cmd; reuse_cmd; simulate_cmd; predict_cmd; experiments_cmd;
         fuzz_cmd; lint_cmd; faults_cmd; validate_json_cmd; serve_cmd;
         client_cmd ]

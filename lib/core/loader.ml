@@ -23,14 +23,9 @@ let load_program ~scale name =
       if Sys.is_directory name then
         Error (Printf.sprintf "'%s' is a directory, not a program" name)
       else
-        Result.bind (read_file name) (fun src ->
-            match Bw_ir.Parser.parse_program src with
-            | Ok p -> Ok p
-            | Error e ->
-              Error (Format.asprintf "%a" Bw_ir.Parser.pp_parse_error e)
-            | exception e ->
-              Error
-                (Printf.sprintf "%s: %s" name (Printexc.to_string e)))
+        (* the position-tracking front end: every parse diagnostic is
+           one line, FILE:LINE:COL: message *)
+        Bw_lang.Parse.parse_file name
     else
       Error
         (Printf.sprintf

@@ -9,3 +9,6 @@
 
 val load_program :
   scale:int -> string -> (Bw_ir.Ast.program, string) result
+
+(** Read a whole file; [Error] carries the [Sys_error] message. *)
+val read_file : string -> (string, string) result

@@ -24,11 +24,15 @@ let binop_prec = function
   | Min | Max -> 3
 
 (* Shortest float rendering that re-reads to the same value: %g when it
-   is lossless (almost always), full precision otherwise.  Keeps printed
-   programs re-parseable to an equal AST. *)
+   is lossless (almost always), full precision otherwise.  Integral
+   values keep a trailing ".0" so the token re-lexes as a float — "x =
+   0" would re-parse as an integer literal and fail the type check.
+   Keeps printed programs re-parseable to an equal AST. *)
 let float_repr x =
   let s = Printf.sprintf "%g" x in
-  if float_of_string s = x then s else Printf.sprintf "%.17g" x
+  let s = if float_of_string s = x then s else Printf.sprintf "%.17g" x in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s then s
+  else s ^ ".0"
 
 let rec pp_expr_prec prec ppf e =
   match e with

@@ -1,21 +1,33 @@
-open Ast
+open Bw_ir.Ast
 
-type parse_error = { message : string; line : int }
+type error = { message : string; line : int; col : int }
 
-let pp_parse_error ppf e =
-  Format.fprintf ppf "parse error at line %d: %s" e.line e.message
+let pp_error ppf e =
+  Format.fprintf ppf "%d:%d: %s" e.line e.col e.message
 
-exception Error of parse_error
+let error_to_string ?file e =
+  match file with
+  | Some f -> Printf.sprintf "%s:%d:%d: %s" f e.line e.col e.message
+  | None -> Printf.sprintf "%d:%d: %s" e.line e.col e.message
 
-type state = { mutable tokens : Lexer.t list }
+exception Error of error
 
-let fail_at line fmt =
-  Printf.ksprintf (fun message -> raise (Error { message; line })) fmt
+type state = {
+  mutable tokens : Lexer.t list;
+  decl_dims : (string, int) Hashtbl.t;  (** declared name -> dimensions *)
+  mutable indices : string list;  (** active loop indices, innermost first *)
+}
+
+let fail_at (pos : Lexer.pos) fmt =
+  Printf.ksprintf
+    (fun message ->
+      raise (Error { message; line = pos.Lexer.line; col = pos.Lexer.col }))
+    fmt
 
 let peek st =
   match st.tokens with
   | t :: _ -> t
-  | [] -> { Lexer.token = Lexer.EOF; line = 0 }
+  | [] -> { Lexer.token = Lexer.EOF; pos = { Lexer.line = 0; col = 0 } }
 
 let advance st =
   match st.tokens with _ :: rest -> st.tokens <- rest | [] -> ()
@@ -28,21 +40,23 @@ let next st =
 let expect st token =
   let t = next st in
   if t.Lexer.token <> token then
-    fail_at t.line "expected %s, found %s"
+    fail_at t.pos "expected %s, found %s"
       (Lexer.token_to_string token)
       (Lexer.token_to_string t.Lexer.token)
 
 let expect_ident st =
   let t = next st in
   match t.Lexer.token with
-  | Lexer.IDENT s -> s
-  | other -> fail_at t.line "expected identifier, found %s" (Lexer.token_to_string other)
+  | Lexer.IDENT s -> (s, t.Lexer.pos)
+  | other ->
+    fail_at t.pos "expected identifier, found %s" (Lexer.token_to_string other)
 
 let expect_int st =
   let t = next st in
   match t.Lexer.token with
   | Lexer.INT n -> n
-  | other -> fail_at t.line "expected integer, found %s" (Lexer.token_to_string other)
+  | other ->
+    fail_at t.pos "expected integer, found %s" (Lexer.token_to_string other)
 
 let expect_number st =
   let t = next st in
@@ -55,11 +69,30 @@ let expect_number st =
     | Lexer.FLOAT x -> -.x
     | Lexer.INT n -> float_of_int (-n)
     | other ->
-      fail_at t2.line "expected number after '-', found %s"
+      fail_at t2.pos "expected number after '-', found %s"
         (Lexer.token_to_string other))
-  | other -> fail_at t.line "expected number, found %s" (Lexer.token_to_string other)
+  | other ->
+    fail_at t.pos "expected number, found %s" (Lexer.token_to_string other)
 
 let builtin_unops = [ ("abs", Abs); ("sqrt", Sqrt); ("float", Int_to_float) ]
+
+(* --- scope checks ------------------------------------------------------- *)
+
+let check_scalar_ref st name pos =
+  if not (List.mem name st.indices) then
+    match Hashtbl.find_opt st.decl_dims name with
+    | Some 0 -> ()
+    | Some _ -> fail_at pos "array '%s' used without subscripts" name
+    | None -> fail_at pos "undeclared variable '%s'" name
+
+let check_element_ref st name pos n_subscripts =
+  match Hashtbl.find_opt st.decl_dims name with
+  | Some 0 -> fail_at pos "scalar '%s' cannot be subscripted" name
+  | Some d when d <> n_subscripts ->
+    fail_at pos "array '%s' has %d dimension(s), found %d subscript(s)" name d
+      n_subscripts
+  | Some _ -> ()
+  | None -> fail_at pos "undeclared array '%s'" name
 
 (* --- expressions ------------------------------------------------------- *)
 
@@ -109,6 +142,7 @@ and parse_factor st =
     | Lexer.LBRACKET ->
       advance st;
       let idxs = parse_expr_list st Lexer.RBRACKET in
+      check_element_ref st name t.Lexer.pos (List.length idxs);
       Element (name, idxs)
     | Lexer.LPAREN ->
       advance st;
@@ -117,17 +151,20 @@ and parse_factor st =
       (match (List.assoc_opt lower builtin_unops, args) with
       | Some op, [ a ] -> Unary (op, a)
       | Some _, _ ->
-        fail_at t.line "builtin '%s' expects exactly one argument" name
+        fail_at t.Lexer.pos "builtin '%s' expects exactly one argument" name
       | None, args -> (
         match (lower, args) with
         | "min", [ a; b ] -> Binary (Min, a, b)
         | "max", [ a; b ] -> Binary (Max, a, b)
         | ("min" | "max"), _ ->
-          fail_at t.line "'%s' expects exactly two arguments" name
+          fail_at t.Lexer.pos "'%s' expects exactly two arguments" name
         | _ -> Call (name, args)))
-    | _ -> Scalar name)
+    | _ ->
+      check_scalar_ref st name t.Lexer.pos;
+      Scalar name)
   | other ->
-    fail_at t.line "expected an expression, found %s" (Lexer.token_to_string other)
+    fail_at t.Lexer.pos "expected an expression, found %s"
+      (Lexer.token_to_string other)
 
 and parse_expr_list st closing =
   if (peek st).Lexer.token = closing then begin
@@ -142,7 +179,7 @@ and parse_expr_list st closing =
       | c when c = closing -> List.rev acc
       | Lexer.COMMA -> loop (parse_expression st :: acc)
       | other ->
-        fail_at t.line "expected ',' or %s, found %s"
+        fail_at t.Lexer.pos "expected ',' or %s, found %s"
           (Lexer.token_to_string closing)
           (Lexer.token_to_string other)
     in
@@ -204,7 +241,7 @@ and parse_comparison st =
       | Lexer.GT -> Gt
       | Lexer.GE -> Ge
       | other ->
-        fail_at t.line "expected a comparison operator, found %s"
+        fail_at t.Lexer.pos "expected a comparison operator, found %s"
           (Lexer.token_to_string other)
     in
     Cmp (op, lhs, parse_expression st)
@@ -216,7 +253,7 @@ let rec parse_stmts st ~stop =
     let t = peek st in
     match t.Lexer.token with
     | Lexer.KW k when List.mem k stop -> List.rev acc
-    | Lexer.EOF -> fail_at t.line "unexpected end of input inside a block"
+    | Lexer.EOF -> fail_at t.Lexer.pos "unexpected end of input inside a block"
     | _ -> loop (parse_stmt st :: acc)
   in
   loop []
@@ -226,8 +263,12 @@ and parse_stmt st =
   match t.Lexer.token with
   | Lexer.KW "for" ->
     advance st;
-    let index = expect_ident st in
+    let index, ipos = expect_ident st in
+    if Hashtbl.mem st.decl_dims index then
+      fail_at ipos "loop index '%s' shadows a declaration" index;
     expect st Lexer.ASSIGN;
+    (* bounds and step are parsed in the enclosing scope: the loop's own
+       index is not visible in them *)
     let lo = parse_expression st in
     expect st Lexer.COMMA;
     let hi = parse_expression st in
@@ -238,7 +279,9 @@ and parse_stmt st =
       end
       else Int_lit 1
     in
+    st.indices <- index :: st.indices;
     let body = parse_stmts st ~stop:[ "end"; "endfor" ] in
+    st.indices <- List.tl st.indices;
     close_block st ~short:"endfor" ~long:"for";
     For { index; lo; hi; step; body }
   | Lexer.KW "if" ->
@@ -270,16 +313,23 @@ and parse_stmt st =
     expect st Lexer.ASSIGN;
     Assign (lv, parse_expression st)
   | other ->
-    fail_at t.line "expected a statement, found %s" (Lexer.token_to_string other)
+    fail_at t.Lexer.pos "expected a statement, found %s"
+      (Lexer.token_to_string other)
 
 and parse_lvalue st =
-  let name = expect_ident st in
+  let name, pos = expect_ident st in
   if (peek st).Lexer.token = Lexer.LBRACKET then begin
     advance st;
     let idxs = parse_expr_list st Lexer.RBRACKET in
+    check_element_ref st name pos (List.length idxs);
     Lelement (name, idxs)
   end
-  else Lscalar name
+  else begin
+    if List.mem name st.indices then
+      fail_at pos "loop index '%s' cannot be assigned" name;
+    check_scalar_ref st name pos;
+    Lscalar name
+  end
 
 and close_block st ~short ~long =
   let t = next st in
@@ -289,9 +339,9 @@ and close_block st ~short ~long =
     match (peek st).Lexer.token with
     | Lexer.KW k when k = long -> advance st
     | Lexer.KW "if" when long = "if" -> advance st
-    | _ -> fail_at t.line "expected 'end %s'" long)
+    | _ -> fail_at t.Lexer.pos "expected 'end %s'" long)
   | other ->
-    fail_at t.line "expected 'end %s', found %s" long
+    fail_at t.Lexer.pos "expected 'end %s', found %s" long
       (Lexer.token_to_string other)
 
 (* --- declarations and program ------------------------------------------ *)
@@ -320,12 +370,14 @@ let rec parse_init st =
     expect st Lexer.RPAREN;
     Init_lanes (inner, l)
   | other ->
-    fail_at t.line
+    fail_at t.Lexer.pos
       "expected an initialiser (zero | linear(a,b) | hash(s) | lanes(i,l)), found %s"
       (Lexer.token_to_string other)
 
 let parse_decl st dtype =
-  let var_name = expect_ident st in
+  let var_name, npos = expect_ident st in
+  if Hashtbl.mem st.decl_dims var_name then
+    fail_at npos "duplicate declaration of '%s'" var_name;
   let dims =
     if (peek st).Lexer.token = Lexer.LBRACKET then begin
       advance st;
@@ -336,7 +388,7 @@ let parse_decl st dtype =
         | Lexer.RBRACKET -> List.rev acc
         | Lexer.COMMA -> loop (expect_int st :: acc)
         | other ->
-          fail_at t.line "expected ',' or ']', found %s"
+          fail_at t.Lexer.pos "expected ',' or ']', found %s"
             (Lexer.token_to_string other)
       in
       loop [ first ]
@@ -351,11 +403,13 @@ let parse_decl st dtype =
     else if dims = [] then Init_zero
     else Init_linear (1.0, 0.001)
   in
+  Hashtbl.replace st.decl_dims var_name (List.length dims);
   { var_name; dtype; dims; init }
 
 let parse_program_tokens st =
+  let header = peek st in
   expect st (Lexer.KW "program");
-  let prog_name = expect_ident st in
+  let prog_name, _ = expect_ident st in
   let decls = ref [] and live_out = ref [] in
   let rec parse_header () =
     match (peek st).Lexer.token with
@@ -382,45 +436,66 @@ let parse_program_tokens st =
     | _ -> ()
   in
   parse_header ();
+  List.iter
+    (fun (name, pos) ->
+      if not (Hashtbl.mem st.decl_dims name) then
+        fail_at pos "live_out name '%s' is not declared" name)
+    !live_out;
   let body = parse_stmts st ~stop:[ "end" ] in
   expect st (Lexer.KW "end");
   (match (peek st).Lexer.token with
   | Lexer.EOF -> ()
   | other ->
-    fail_at (peek st).Lexer.line "trailing input after 'end': %s"
+    fail_at (peek st).Lexer.pos "trailing input after 'end': %s"
       (Lexer.token_to_string other));
-  { prog_name; decls = List.rev !decls; body; live_out = !live_out }
+  let program =
+    { prog_name;
+      decls = List.rev !decls;
+      body;
+      live_out = List.map fst !live_out }
+  in
+  (* backstop for what the scope checks cannot see (operand typing,
+     subscript bounds); anchored at the 'program' keyword *)
+  (match Bw_ir.Check.check program with
+  | Ok () -> ()
+  | Error es ->
+    fail_at header.Lexer.pos "%s"
+      (String.concat "; "
+         (List.map (fun e -> Format.asprintf "%a" Bw_ir.Check.pp_error e) es)));
+  program
 
 let parse_program src =
   match
-    let st = { tokens = Lexer.tokenize src } in
+    let st =
+      { tokens = Lexer.tokenize src;
+        decl_dims = Hashtbl.create 16;
+        indices = [] }
+    in
     parse_program_tokens st
   with
-  | program -> (
-    match Check.check program with
-    | Ok () -> Ok program
-    | Error es ->
-      let message =
-        es
-        |> List.map (fun e -> Format.asprintf "%a" Check.pp_error e)
-        |> String.concat "; "
-      in
-      Error { message; line = 0 })
+  | program -> Ok program
   | exception Error e -> Error e
-  | exception Lexer.Lex_error (message, line) -> Error { message; line }
+  | exception Lexer.Lex_error (message, pos) ->
+    Error { message; line = pos.Lexer.line; col = pos.Lexer.col }
 
 let parse_program_exn src =
   match parse_program src with
   | Ok p -> p
-  | Error e -> invalid_arg (Format.asprintf "%a" pp_parse_error e)
+  | Error e -> invalid_arg (error_to_string e)
 
-let parse_expr src =
+let read_file path =
   match
-    let st = { tokens = Lexer.tokenize src } in
-    let e = parse_expression st in
-    expect st Lexer.EOF;
-    e
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | e -> Ok e
-  | exception Error e -> Error e
-  | exception Lexer.Lex_error (message, line) -> Error { message; line }
+  | src -> Ok src
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error (path ^ ": truncated read")
+
+let parse_file path =
+  Result.bind (read_file path) (fun src ->
+      match parse_program src with
+      | Ok p -> Ok p
+      | Error e -> Error (error_to_string ~file:path e))

@@ -373,9 +373,10 @@ let load_program req =
   | Some _, Some _ -> Error "give either 'program' or 'source', not both"
   | Some name, None -> Bw_core.Loader.load_program ~scale:req.scale name
   | None, Some src -> (
-    match Bw_ir.Parser.parse_program src with
+    (* position-tracking front end: errors render as LINE:COL: message *)
+    match Bw_lang.Parse.parse_program src with
     | Ok p -> Ok p
-    | Error e -> Error (Format.asprintf "%a" Bw_ir.Parser.pp_parse_error e)
+    | Error e -> Error (Bw_lang.Parse.error_to_string e)
     | exception e -> Error (Printexc.to_string e))
   | None, None ->
     Error
