@@ -380,7 +380,7 @@ let arm_faults_or_die ~what = function
 
 let optimize_cmd =
   let run name scale machine print_program layout trace_out validate lint
-      no_rollback fuel faults =
+      no_rollback fuel faults fuse_search search_seed =
     arm_faults_or_die ~what:"--faults" faults;
     let p = or_die (load_program ~scale name) in
     let guard =
@@ -390,7 +390,40 @@ let optimize_cmd =
         rollback = not no_rollback;
         fuel }
     in
-    let run_pipeline () = Bw_transform.Strategy.run_guarded ~guard p in
+    let search_engine =
+      match fuse_search with
+      | None -> None
+      | Some s -> (
+        match Bw_fusion.Search.engine_of_string s with
+        | Some e -> Some e
+        | None ->
+          Format.eprintf
+            "bwc: unknown fuse-search engine '%s' (greedy, anneal, exact)@." s;
+          exit 1)
+    in
+    (* the closure records the last search's stats so they can be
+       reported after the guarded pipeline finishes *)
+    let search_stats = ref None in
+    let fuse_search =
+      Option.map
+        (fun engine ->
+          let cfg =
+            Bw_fusion.Search.default_config ~engine ~machine ~seed:search_seed
+              ()
+          in
+          fun q ->
+            match Bw_fusion.Search.run cfg q with
+            | Ok (q', st) ->
+              search_stats := Some st;
+              q'
+            | Error msg ->
+              Format.eprintf "fuse-search failed: %s@." msg;
+              q)
+        search_engine
+    in
+    let run_pipeline () =
+      Bw_transform.Strategy.run_guarded ~guard ?fuse_search p
+    in
     let outcome =
       try
         Ok
@@ -430,6 +463,29 @@ let optimize_cmd =
         (p', events @ Bw_transform.Guard.events g)
       end
     in
+    (match !search_stats with
+    | None -> ()
+    | Some st ->
+      let open Bw_fusion.Search in
+      Format.printf "%a@." pp_stats st;
+      (match st.engine with
+      | Greedy ->
+        Format.printf "fuse-search: greedy baseline %.2f MB@."
+          (st.greedy_traffic /. 1e6)
+      | engine ->
+        let win =
+          if st.greedy_traffic > 0.0 then
+            100.0 *. (st.greedy_traffic -. st.traffic) /. st.greedy_traffic
+          else 0.0
+        in
+        Format.printf "fuse-search: greedy %.2f MB, %s %.2f MB, %s greedy by %.1f%%@."
+          (st.greedy_traffic /. 1e6)
+          (engine_to_string engine)
+          (st.traffic /. 1e6)
+          (if win >= 0.0 then "beats" else "trails")
+          (Float.abs win));
+      if not st.accepted then
+        Format.printf "fuse-search: declined (no predicted win over the input)@.");
     Format.printf "%a@.@." Bw_transform.Strategy.pp_report report;
     let rolled_back =
       List.exists
@@ -523,13 +579,35 @@ let optimize_cmd =
              'guard.fuse=raise,guard.shrink=corrupt@nth:2' (same syntax as \
              the BWC_FAULTS environment variable; see $(b,bwc faults)).")
   in
+  let fuse_search_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "anneal") (some string) None
+      & info [ "fuse-search" ] ~docv:"ENGINE"
+          ~doc:
+            "Replace the greedy adjacent-fusion sweep with the k-way fusion \
+             search: $(docv) is greedy (sequential min-cut), anneal \
+             (seeded randomized-restart annealing, the default when the \
+             flag is given bare) or exact (set-partition DP, small \
+             programs only).  The winning plan runs in its own guarded \
+             stage behind the analytic regression gate; greedy-vs-search \
+             predicted traffic is reported either way.")
+  in
+  let search_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "search-seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed for the annealing engine's private random state (the \
+             search is deterministic for a fixed seed).")
+  in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Apply the bandwidth-reduction pipeline and compare")
     Term.(
       const run $ program_arg $ scale_arg $ machine_arg $ print_flag
       $ layout_flag $ trace_arg $ validate_arg $ lint_flag $ no_rollback_flag
-      $ fuel_arg $ faults_arg)
+      $ fuel_arg $ faults_arg $ fuse_search_arg $ search_seed_arg)
 
 (* --- profile ---------------------------------------------------------------- *)
 

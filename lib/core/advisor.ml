@@ -38,6 +38,18 @@ let candidates (p : Bw_ir.Ast.program) =
       [ ("bandwidth-minimal global fusion", p') ]
     | _ -> []
   in
+  let search_fusion =
+    let cfg =
+      Bw_fusion.Search.default_config ~engine:Bw_fusion.Search.Anneal ()
+    in
+    match Bw_fusion.Search.run cfg p with
+    | Ok (p', st)
+      when st.Bw_fusion.Search.accepted
+           && List.length st.Bw_fusion.Search.plan
+              < List.length p.Bw_ir.Ast.body ->
+      [ ("annealed k-way fusion search", p') ]
+    | _ -> []
+  in
   let contractions =
     List.map
       (fun a ->
@@ -108,8 +120,8 @@ let candidates (p : Bw_ir.Ast.program) =
     let p', _ = Bw_transform.Strategy.run p in
     [ ("full pipeline (fuse + contract + shrink + eliminate stores)", p') ]
   in
-  fusions @ global_fusion @ contractions @ shrinks @ store_elims @ regroups
-  @ tilings @ full_pipeline
+  fusions @ global_fusion @ search_fusion @ contractions @ shrinks
+  @ store_elims @ regroups @ tilings @ full_pipeline
 
 let diagnose ~machine (p : Bw_ir.Ast.program) =
   let base = Bw_exec.Run.simulate ~machine p in

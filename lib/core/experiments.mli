@@ -57,6 +57,11 @@ val ablation_pipeline : ?scale:int -> unit -> Table.t
 (** Ablation: sensitivity of memory balance to cache capacity. *)
 val ablation_cache : ?scale:int -> unit -> Table.t
 
+(** Fusion search: greedy sequential min-cut vs the annealed k-way
+    engine (and the exact DP where affordable) on the seeded DAG
+    family, priced by the analytic predictor ({!Bw_fusion.Search}). *)
+val fuse_search : ?scale:int -> unit -> Table.t
+
 (** Analytic predictor vs exact simulator over the registry on the
     {!Accuracy.default_machines} (see {!Accuracy} for the envelope). *)
 val predict : ?scale:int -> unit -> Table.t

@@ -38,6 +38,10 @@ let error_message e =
 
 (* Render one table; exceptions propagate (callers choose confinement). *)
 let render_raw ~scale (id, table_fn) =
+  (* Tables report wall-clock columns (fig5 ms, fuse-search search time);
+     start each from a compacted heap so a table's timings don't inherit
+     the garbage of whichever tables happened to run before it. *)
+  Gc.compact ();
   let span =
     Bw_obs.Trace.start ~cat:"table"
       ~attrs:[ ("id", Bw_obs.Trace.Str id) ]

@@ -18,16 +18,28 @@ let load_program ~scale name =
       Error
         (Printf.sprintf "workload '%s' failed to build: %s" name
            (Printexc.to_string e)))
-  | None ->
-    if Sys.file_exists name then
+  | None -> (
+    (* generated DAG-family instances ("dag<seed>x<loops>") are loadable
+       by name without being registry entries, so the registry-wide
+       accuracy/lint/simulate sweeps keep their fixed workload set *)
+    match Bw_workloads.Dag_family.of_name name with
+    | Some build -> (
+      match build ~scale with
+      | p -> Ok p
+      | exception e ->
+        Error
+          (Printf.sprintf "DAG instance '%s' failed to build: %s" name
+             (Printexc.to_string e)))
+    | None ->
+      if Sys.file_exists name then
       if Sys.is_directory name then
         Error (Printf.sprintf "'%s' is a directory, not a program" name)
       else
         (* the position-tracking front end: every parse diagnostic is
            one line, FILE:LINE:COL: message *)
         Bw_lang.Parse.parse_file name
-    else
-      Error
-        (Printf.sprintf
-           "'%s' is neither a built-in workload nor a file (try 'bwc list')"
-           name)
+      else
+        Error
+          (Printf.sprintf
+             "'%s' is neither a built-in workload nor a file (try 'bwc list')"
+             name))

@@ -80,3 +80,37 @@ let predicted_traffic ?(machine = Bw_machine.Machine.origin2000)
       (Bw_exec.Evaluate.memory_bytes
          (Bw_exec.Evaluate.of_program ~budget:Bw_exec.Evaluate.Microseconds
             ~machine fused))
+
+(* Canonical partition signature: members joined by '.', partitions by
+   '|'.  Distinct plans have distinct signatures because members are
+   kept ascending and the outer order is execution order. *)
+let signature partitions =
+  String.concat "|"
+    (List.map
+       (fun nodes -> String.concat "." (List.map string_of_int nodes))
+       partitions)
+
+type memo = {
+  table : (string, (float, string) result) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let memo () = { table = Hashtbl.create 256; hits = 0; misses = 0 }
+let memo_hits m = m.hits
+let memo_misses m = m.misses
+
+let cache_hit_counter = Bw_obs.Metrics.counter "fusion.search.cache_hit"
+
+let predicted_traffic_memo ?machine ~memo p partitions =
+  let key = signature partitions in
+  match Hashtbl.find_opt memo.table key with
+  | Some r ->
+    memo.hits <- memo.hits + 1;
+    Bw_obs.Metrics.incr cache_hit_counter;
+    r
+  | None ->
+    memo.misses <- memo.misses + 1;
+    let r = predicted_traffic ?machine p partitions in
+    Hashtbl.add memo.table key r;
+    r

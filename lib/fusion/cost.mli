@@ -41,3 +41,33 @@ val predicted_traffic :
   Bw_ir.Ast.program ->
   int list list ->
   (float, string) result
+
+(** Canonical key for a partition sequence: ["0.2|1|3.4"] — members
+    joined by ['.'], partitions by ['|'].  Injective over valid plans
+    (members ascending, outer order = execution order), so it can key
+    memo tables and result caches. *)
+val signature : int list list -> string
+
+(** A per-search memo table for {!predicted_traffic}, keyed on
+    {!signature}.  Search engines revisit the same partition many times
+    (annealing moves are frequently undone); a memo turns every repeat
+    into one hash lookup.  Hits are also counted in {!Bw_obs.Metrics}
+    under [fusion.search.cache_hit]. *)
+type memo
+
+(** A fresh, empty memo.  Memos are scoped to one (program, machine)
+    pair — do not share a memo across different programs or machines,
+    the signature does not encode either. *)
+val memo : unit -> memo
+
+val memo_hits : memo -> int
+val memo_misses : memo -> int
+
+(** [predicted_traffic_memo ?machine ~memo p partitions] is
+    {!predicted_traffic} with results cached in [memo]. *)
+val predicted_traffic_memo :
+  ?machine:Bw_machine.Machine.t ->
+  memo:memo ->
+  Bw_ir.Ast.program ->
+  int list list ->
+  (float, string) result

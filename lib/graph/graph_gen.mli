@@ -1,6 +1,13 @@
 (** Deterministic pseudo-random generators for graphs and hyper-graphs,
-    used by property tests and by the scaling benchmarks.  All generators
-    take an explicit [seed] so results are reproducible. *)
+    used by property tests and by the scaling benchmarks.
+
+    {b Determinism:} every generator is a pure function of its
+    arguments.  Each draws from a private [Random.State] derived from
+    its explicit [seed]; nothing here reads or seeds the global random
+    state (no [Random.self_init]), so equal arguments produce identical
+    graphs across runs and processes — the same contract as
+    [Bw_workloads.Random_programs], [Bw_workloads.Dag_family] and
+    [Bw_fusion.Search]. *)
 
 (** [digraph ~seed ~nodes ~edge_prob] is a random directed graph; each of
     the [nodes * (nodes-1)] ordered pairs is an edge with probability

@@ -12,6 +12,14 @@ let guard_body ~index ~lo ~hi ~(hull_lo : int) ~(hull_hi : int) body =
 let fuse_adjacent (l1 : loop) (l2 : loop) =
   match Bw_analysis.Depend.fusable l1 l2 with
   | Error reason -> Error reason
+  | Ok ()
+    when l2.index <> l1.index
+         && (List.mem l1.index (Bw_ir.Ast_util.loop_indices l2.body)
+            || List.mem l1.index (Bw_ir.Ast_util.vars_read l2.body)
+            || List.mem l1.index (Bw_ir.Ast_util.vars_written l2.body)) ->
+    (* renaming l2's index would capture this occurrence: a nested loop
+       over l1.index, or a use of a scalar spelled like it *)
+    Error "loop index rename would capture a name in the second body"
   | Ok () ->
     let body2 =
       Bw_ir.Ast_util.rename_scalar ~from:l2.index ~into:l1.index l2.body

@@ -21,8 +21,8 @@ let fusion_only =
 (* Every guarded stage has a fault-injection site, declared eagerly so
    `bwc faults` can list them before anything is armed. *)
 let stage_names =
-  [ "input"; "fuse"; "contract"; "shrink"; "forward"; "store-elim";
-    "contract-tidy" ]
+  [ "input"; "fuse"; "fuse_search"; "contract"; "shrink"; "forward";
+    "store-elim"; "contract-tidy" ]
 
 let () =
   List.iter
@@ -66,6 +66,8 @@ let count name n = Bw_obs.Metrics.incr ~by:n (Bw_obs.Metrics.counter name)
 
 let fuse_accept = Bw_obs.Metrics.counter "pass.fuse.analytic_accept"
 let fuse_reject = Bw_obs.Metrics.counter "pass.fuse.analytic_reject"
+let search_accept = Bw_obs.Metrics.counter "pass.fuse_search.analytic_accept"
+let search_reject = Bw_obs.Metrics.counter "pass.fuse_search.analytic_reject"
 
 let analytic_traffic ~machine p =
   Bw_exec.Evaluate.memory_bytes
@@ -80,21 +82,25 @@ let analytic_traffic ~machine p =
    candidates — the gate exists to catch pathological ones for the price
    of two closed-form queries instead of a replay.  Accept/reject
    decisions are counted under [pass.fuse.analytic_*]. *)
-let gated_greedy ~machine p =
-  let p' = Fuse.greedy p in
+let gated ~machine ~accept ~reject f p =
+  let p' = f p in
   if p' == p then p'
   else if analytic_traffic ~machine p' <= 1.05 *. analytic_traffic ~machine p
   then begin
-    Bw_obs.Metrics.incr fuse_accept;
+    Bw_obs.Metrics.incr accept;
     p'
   end
   else begin
-    Bw_obs.Metrics.incr fuse_reject;
+    Bw_obs.Metrics.incr reject;
     p
   end
 
+let gated_greedy ~machine p =
+  gated ~machine ~accept:fuse_accept ~reject:fuse_reject Fuse.greedy p
+
 let run_guarded ?(options = all_on) ?(guard = Guard.default_config)
-    ?(machine = Bw_machine.Machine.origin2000) (p : Bw_ir.Ast.program) =
+    ?(machine = Bw_machine.Machine.origin2000) ?fuse_search
+    (p : Bw_ir.Ast.program) =
   Bw_obs.Trace.with_span ~cat:"optimizer"
     ("optimize:" ^ p.Bw_ir.Ast.prog_name)
   @@ fun () ->
@@ -106,12 +112,25 @@ let run_guarded ?(options = all_on) ?(guard = Guard.default_config)
   let p, () = Guard.stage g ~name:"input" ~default:() (fun p -> (p, ())) p in
   let before = List.length p.Bw_ir.Ast.body in
   let p =
-    if options.fuse then
+    (* A search engine, when supplied, subsumes the greedy adjacent
+       sweep: it runs in its own guarded stage (fault site
+       guard.fuse_search) behind the same 5% analytic gate. *)
+    match fuse_search with
+    | Some search ->
       fst
-        (Guard.stage g ~name:"fuse" ~default:()
-           (pass "fuse" (fun p -> (gated_greedy ~machine p, ())))
+        (Guard.stage g ~name:"fuse_search" ~default:()
+           (pass "fuse_search" (fun p ->
+                ( gated ~machine ~accept:search_accept ~reject:search_reject
+                    search p,
+                  () )))
            p)
-    else p
+    | None ->
+      if options.fuse then
+        fst
+          (Guard.stage g ~name:"fuse" ~default:()
+             (pass "fuse" (fun p -> (gated_greedy ~machine p, ())))
+             p)
+      else p
   in
   let fused_loops = before - List.length p.Bw_ir.Ast.body in
   let p, contracted =
@@ -162,8 +181,8 @@ let run_guarded ?(options = all_on) ?(guard = Guard.default_config)
       forwarded },
     Guard.events g )
 
-let run ?options ?machine p =
-  let p', report, _events = run_guarded ?options ?machine p in
+let run ?options ?machine ?fuse_search p =
+  let p', report, _events = run_guarded ?options ?machine ?fuse_search p in
   (p', report)
 
 let pp_report ppf r =

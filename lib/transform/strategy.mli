@@ -46,10 +46,21 @@ val stage_names : string list
     [machine] (default {!Bw_machine.Machine.origin2000}) and keeps the
     fused program only if the model predicts no memory-traffic
     regression beyond 5%; decisions are counted in {!Bw_obs.Metrics}
-    under [pass.fuse.analytic_accept] / [pass.fuse.analytic_reject]. *)
+    under [pass.fuse.analytic_accept] / [pass.fuse.analytic_reject].
+
+    [fuse_search], when given, replaces the greedy adjacent-fusion
+    sweep with a search-based fusion engine (typically
+    [Bw_fusion.Search.stage], injected as a closure so this library
+    stays independent of [bw_fusion]).  It runs in its own guarded
+    stage ["fuse_search"] (fault site [guard.fuse_search]) behind the
+    same 5% analytic gate; decisions are counted under
+    [pass.fuse_search.analytic_accept] /
+    [pass.fuse_search.analytic_reject].  The closure must be total —
+    return its argument to decline. *)
 val run :
   ?options:options ->
   ?machine:Bw_machine.Machine.t ->
+  ?fuse_search:(Bw_ir.Ast.program -> Bw_ir.Ast.program) ->
   Bw_ir.Ast.program ->
   Bw_ir.Ast.program * stage_report
 
@@ -63,6 +74,7 @@ val run_guarded :
   ?options:options ->
   ?guard:Guard.config ->
   ?machine:Bw_machine.Machine.t ->
+  ?fuse_search:(Bw_ir.Ast.program -> Bw_ir.Ast.program) ->
   Bw_ir.Ast.program ->
   Bw_ir.Ast.program * stage_report * Guard.event list
 
